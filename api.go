@@ -1,0 +1,265 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/agm"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/incremental"
+	"repro/internal/minesweeper"
+	"repro/internal/query"
+	"repro/internal/recursive"
+)
+
+// Model names re-exported for graph generation.
+const (
+	ErdosRenyi     = dataset.ErdosRenyi
+	BarabasiAlbert = dataset.BarabasiAlbert
+	HolmeKim       = dataset.HolmeKim
+)
+
+// Query is a graph-pattern join query. Build one with the pattern
+// constructors below or parse the paper's Datalog syntax with ParseQuery.
+type Query = query.Query
+
+// Pattern constructors mirroring the paper's §5.1 benchmark queries.
+var (
+	// Triangles is the 3-clique query (each triangle counted once).
+	Triangles = func() *Query { return query.Clique(3) }
+	// Cliques returns the k-clique query.
+	Cliques = query.Clique
+	// Cycles returns the k-cycle query with the a<b<...<z orientation.
+	Cycles = query.Cycle
+	// Paths returns the k-path query between samples v1 and v2.
+	Paths = query.Path
+	// Trees returns the {1,2}-tree query.
+	Trees = query.Tree
+	// Comb returns the 2-comb query.
+	Comb = query.Comb
+	// Lollipops returns the {2,3}-lollipop query.
+	Lollipops = query.Lollipop
+)
+
+// ParseQuery parses the Datalog-style syntax of §5.1, e.g.
+// "v1(a), v2(d), edge(a, b), edge(b, c), edge(c, d)". Relations available
+// on a Graph: "edge" (symmetric), "fwd" (u<v orientation), "v1".."v4"
+// (node samples).
+func ParseQuery(name, src string) (*Query, error) { return query.Parse(name, src) }
+
+// Graph is an undirected graph plus the benchmark database schema derived
+// from it: the symmetric "edge" relation, the oriented "fwd" relation, and
+// the node samples v1..v4.
+type Graph struct {
+	g  *dataset.Graph
+	db *core.DB
+}
+
+// NewGraph builds a graph from an undirected edge list. Vertex ids must be
+// non-negative; self-loops are dropped and duplicates merged. Samples
+// default to every vertex (selectivity 1).
+func NewGraph(edges [][2]int64) *Graph {
+	var n int64
+	for _, e := range edges {
+		if e[0] >= n {
+			n = e[0] + 1
+		}
+		if e[1] >= n {
+			n = e[1] + 1
+		}
+	}
+	g := &dataset.Graph{N: int(n)}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		g.Edges = append(g.Edges, [2]int64{u, v})
+	}
+	return &Graph{g: g, db: dataset.DB(g, 1, 1)}
+}
+
+// GenerateGraph produces a deterministic synthetic graph (see
+// internal/dataset for the models). Samples default to selectivity 1.
+func GenerateGraph(model dataset.Model, nodes, edges int, seed int64) *Graph {
+	g := dataset.Generate(model, nodes, edges, seed)
+	return &Graph{g: g, db: dataset.DB(g, 1, seed)}
+}
+
+// Dataset builds one of the paper's 15 benchmark datasets by name (synthetic
+// stand-ins for the SNAP graphs; see DESIGN.md §5).
+func Dataset(name string) (*Graph, error) {
+	spec, err := dataset.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	g := spec.Build()
+	return &Graph{g: g, db: dataset.DB(g, 1, spec.Seed)}, nil
+}
+
+// Nodes returns the vertex count.
+func (g *Graph) Nodes() int { return g.g.N }
+
+// Edges returns the undirected edge count.
+func (g *Graph) Edges() int { return len(g.g.Edges) }
+
+// SetSelectivity redraws all four node samples with the paper's protocol:
+// each vertex is selected with probability 1/s.
+func (g *Graph) SetSelectivity(s int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, name := range []string{query.Sample1, query.Sample2, query.Sample3, query.Sample4} {
+		g.setSample(name, g.g.Sample(rng, s))
+	}
+}
+
+// SetSamples sets the v1 and v2 samples explicitly (Figures 3–5 use
+// absolute sample sizes).
+func (g *Graph) SetSamples(v1, v2 []int64) {
+	g.setSample(query.Sample1, v1)
+	g.setSample(query.Sample2, v2)
+}
+
+func (g *Graph) setSample(name string, vals []int64) {
+	dataset.ReplaceSample(g.db, name, vals)
+}
+
+// DB exposes the underlying database (for the benchmark harness).
+func (g *Graph) DB() *core.DB { return g.db }
+
+// Options select and configure an engine.
+type Options struct {
+	// Algorithm is one of lftj, ms, hybrid, psql, monetdb, yannakakis,
+	// graphlab. Empty defaults to lftj.
+	Algorithm string
+	// Workers bounds parallelism (0 = all cores, 1 = sequential).
+	Workers int
+	// Granularity is the §4.10 partitioning factor f (0 = paper defaults).
+	Granularity int
+	// GAO overrides the global attribute order (Table 4 experiments).
+	GAO []string
+	// Idea toggles for the ablation experiments (all ideas default on).
+	DisableProbeMemo  bool // Idea 4
+	DisableComplete   bool // Idea 6
+	DisableSkeleton   bool // Idea 7
+	DisableCountReuse bool // Idea 8 (#Minesweeper-style count-mode reuse)
+	// MaxRows caps pairwise-engine intermediates (0 = default budget).
+	MaxRows int
+}
+
+func (o Options) engine() (core.Engine, error) {
+	alg := o.Algorithm
+	if alg == "" {
+		alg = string(engine.LFTJ)
+	}
+	return engine.New(engine.Options{
+		Algorithm:   engine.Algorithm(alg),
+		Workers:     o.Workers,
+		Granularity: o.Granularity,
+		GAO:         o.GAO,
+		MaxRows:     o.MaxRows,
+		MS: minesweeper.Options{
+			DisableMemo:      o.DisableProbeMemo,
+			DisableComplete:  o.DisableComplete,
+			DisableSkeleton:  o.DisableSkeleton,
+			DisableCountMemo: o.DisableCountReuse,
+		},
+	})
+}
+
+// Count evaluates the query on the graph and returns the number of results
+// (all the paper's benchmark queries are counts, §5.1).
+func Count(ctx context.Context, g *Graph, q *Query, opts Options) (int64, error) {
+	e, err := opts.engine()
+	if err != nil {
+		return 0, err
+	}
+	return e.Count(ctx, q, g.db)
+}
+
+// Enumerate streams result tuples, with bindings in q.Vars() order; emit
+// returns false to stop early.
+func Enumerate(ctx context.Context, g *Graph, q *Query, opts Options, emit func([]int64) bool) error {
+	e, err := opts.engine()
+	if err != nil {
+		return err
+	}
+	return e.Enumerate(ctx, q, g.db, emit)
+}
+
+// AGMBound returns the Atserias–Grohe–Marx worst-case output bound of the
+// query on this graph's relation sizes (paper Appendix A) — the quantity
+// worst-case-optimal engines are optimal against.
+func AGMBound(g *Graph, q *Query) (float64, error) {
+	sizes := make([]int, len(q.Atoms))
+	for i, a := range q.Atoms {
+		r, err := g.db.Relation(a.Rel)
+		if err != nil {
+			return 0, fmt.Errorf("agm: %w", err)
+		}
+		sizes[i] = r.Len()
+	}
+	res, err := agm.Compute(q, sizes)
+	if err != nil {
+		return 0, err
+	}
+	return res.Bound(), nil
+}
+
+// ExecStats collects Minesweeper execution counters (probes, memo hits,
+// constraint inserts, subtree reuses) for the ablation analyses.
+type ExecStats = minesweeper.Stats
+
+// CountWithStats runs the Minesweeper engine sequentially, returning the
+// count and its execution counters.
+func CountWithStats(ctx context.Context, g *Graph, q *Query, opts Options) (int64, ExecStats, error) {
+	var stats ExecStats
+	e := minesweeper.Engine{Opts: minesweeper.Options{
+		GAO:              opts.GAO,
+		DisableMemo:      opts.DisableProbeMemo,
+		DisableComplete:  opts.DisableComplete,
+		DisableSkeleton:  opts.DisableSkeleton,
+		DisableCountMemo: opts.DisableCountReuse,
+		Stats:            &stats,
+	}}
+	n, err := e.Count(ctx, q, g.db)
+	return n, stats, err
+}
+
+// CountView is a materialized pattern count maintained incrementally under
+// edge updates (the paper's §3 motivation: LogicBlox's incrementally
+// maintained materialized views).
+type CountView struct {
+	inner *incremental.GraphView
+	g     *Graph
+}
+
+// MaintainCount materializes Count(q) over the graph and keeps it current.
+func MaintainCount(ctx context.Context, g *Graph, q *Query) (*CountView, error) {
+	v, err := incremental.NewGraphView(ctx, q, g.db)
+	if err != nil {
+		return nil, err
+	}
+	return &CountView{inner: v, g: g}, nil
+}
+
+// Count returns the maintained count.
+func (v *CountView) Count() int64 { return v.inner.Count() }
+
+// ApplyEdges inserts and removes undirected edges, updating the graph's
+// relations and the maintained count with delta queries.
+func (v *CountView) ApplyEdges(ctx context.Context, insert, remove [][2]int64) error {
+	return v.inner.ApplyEdges(ctx, insert, remove)
+}
+
+// MaterializeTransitiveClosure computes tc(edge) with semi-naive recursion
+// (the paper's §6 future work) and registers it as relation "tc", queryable
+// from any engine, e.g. ParseQuery("reach", "v1(a), tc(a, b), v2(b)").
+func MaterializeTransitiveClosure(ctx context.Context, g *Graph) error {
+	return recursive.RegisterTC(ctx, g.db)
+}

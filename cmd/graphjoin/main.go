@@ -1,0 +1,118 @@
+// Command graphjoin runs any graph-pattern query on any dataset with any
+// engine — the reproduction's equivalent of a database client:
+//
+//	graphjoin -dataset ego-Facebook -query 3-clique -engine lftj
+//	graphjoin -dataset ca-GrQc -engine ms -selectivity 10 \
+//	    -datalog 'v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)'
+//	graphjoin -nodes 10000 -edges 50000 -model hk -query 4-clique -engine graphlab
+//
+// Named queries: 3-clique, 4-clique, 4-cycle, 3-path, 4-path, 1-tree,
+// 2-tree, 2-comb, 2-lollipop, 3-lollipop.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/query"
+)
+
+func main() {
+	var (
+		datasetName = flag.String("dataset", "", "catalog dataset name (see DESIGN.md)")
+		model       = flag.String("model", "ba", "generator when -dataset empty: er | ba | hk")
+		nodes       = flag.Int("nodes", 10000, "generated graph nodes")
+		edges       = flag.Int("edges", 50000, "generated graph edges")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		queryName   = flag.String("query", "3-clique", "named benchmark query")
+		datalog     = flag.String("datalog", "", "inline Datalog query body (overrides -query)")
+		engineName  = flag.String("engine", "lftj", "lftj | ms | hybrid | psql | monetdb | yannakakis | graphlab")
+		selectivity = flag.Int("selectivity", 10, "node-sample selectivity s (samples pick nodes w.p. 1/s)")
+		timeout     = flag.Duration("timeout", 30*time.Minute, "execution timeout (paper protocol: 30m)")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = all cores)")
+		showAGM     = flag.Bool("agm", false, "print the AGM output-size bound")
+	)
+	flag.Parse()
+
+	var g *repro.Graph
+	var err error
+	if *datasetName != "" {
+		g, err = repro.Dataset(*datasetName)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		m := repro.BarabasiAlbert
+		switch *model {
+		case "er":
+			m = repro.ErdosRenyi
+		case "hk":
+			m = repro.HolmeKim
+		case "ba":
+		default:
+			log.Fatalf("unknown model %q", *model)
+		}
+		g = repro.GenerateGraph(m, *nodes, *edges, *seed)
+	}
+	g.SetSelectivity(*selectivity, *seed)
+
+	var q *repro.Query
+	if *datalog != "" {
+		q, err = repro.ParseQuery("adhoc", *datalog)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		q, err = namedQuery(*queryName)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("graph: %d nodes, %d edges; query %s: %s\n", g.Nodes(), g.Edges(), q.Name, q)
+	if *showAGM {
+		if bound, err := repro.AGMBound(g, q); err == nil {
+			fmt.Printf("AGM bound: %.3g\n", bound)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	start := time.Now()
+	n, err := repro.Count(ctx, g, q, repro.Options{Algorithm: *engineName, Workers: *workers})
+	if err != nil {
+		log.Fatalf("%s: %v", *engineName, err)
+	}
+	fmt.Printf("%s: %d results in %v\n", *engineName, n, time.Since(start).Round(time.Millisecond))
+}
+
+func namedQuery(name string) (*repro.Query, error) {
+	switch name {
+	case "3-clique", "triangle":
+		return query.Clique(3), nil
+	case "4-clique":
+		return query.Clique(4), nil
+	case "4-cycle":
+		return query.Cycle(4), nil
+	case "3-path":
+		return query.Path(3), nil
+	case "4-path":
+		return query.Path(4), nil
+	case "1-tree":
+		return query.Tree(1), nil
+	case "2-tree":
+		return query.Tree(2), nil
+	case "2-comb":
+		return query.Comb(), nil
+	case "2-lollipop":
+		return query.Lollipop(2), nil
+	case "3-lollipop":
+		return query.Lollipop(3), nil
+	default:
+		return nil, fmt.Errorf("unknown query %q", name)
+	}
+}

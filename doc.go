@@ -1,0 +1,29 @@
+// Package repro is a from-scratch Go reproduction of "Join Processing for
+// Graph Patterns: An Old Dog with New Tricks" (Nguyen, Aref, Bravenboer,
+// Kollias, Ngo, Ré, Rudra; arXiv:1503.04169, 2015): the first practical
+// implementation and empirical evaluation of worst-case-optimal (Leapfrog
+// Triejoin) and beyond-worst-case (Minesweeper / #Minesweeper) join
+// algorithms on graph-pattern workloads.
+//
+// The public API evaluates graph-pattern join queries over in-memory graphs
+// with a choice of engines:
+//
+//   - "lftj" — Leapfrog Triejoin, worst-case optimal (paper §2.2);
+//   - "ms" — Minesweeper with the constraint data structure and all of the
+//     paper's Ideas 1–8 (paper §2.3, §4), beyond-worst-case optimal for
+//     β-acyclic queries;
+//   - "hybrid" — Minesweeper on the acyclic part + LFTJ on the clique part
+//     for lollipop queries (paper §4.12);
+//   - "psql" / "monetdb" — Selinger-style pairwise baselines (row-store DP
+//     optimizer / column-store greedy bulk execution);
+//   - "yannakakis" — the classical linear-time algorithm for acyclic joins;
+//   - "graphlab" — a specialized parallel clique counter.
+//
+// Quick start:
+//
+//	g := repro.GenerateGraph(repro.BarabasiAlbert, 10_000, 50_000, 1)
+//	n, err := repro.Count(ctx, g, repro.Triangles(), repro.Options{Algorithm: "lftj"})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// regenerated tables and figures.
+package repro

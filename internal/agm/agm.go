@@ -1,0 +1,63 @@
+// Package agm computes the Atserias–Grohe–Marx worst-case output bound for
+// join queries (paper Appendix A): the minimum over fractional edge covers x
+// of Π_F |R_F|^{x_F}, obtained by solving
+//
+//	min Σ_F log2|R_F| · x_F   s.t.   Σ_{F ∋ v} x_F >= 1 ∀v,  x >= 0.
+//
+// Worst-case-optimal algorithms such as LFTJ run in time Õ(N + AGM(Q)).
+package agm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/query"
+)
+
+// Result holds the optimal fractional edge cover and the induced bound.
+type Result struct {
+	// Cover[i] is the weight x_F assigned to atom i.
+	Cover []float64
+	// Log2Bound is Σ log2|R_F| · x_F.
+	Log2Bound float64
+}
+
+// Bound returns ceil(2^Log2Bound), saturating at MaxFloat64.
+func (r *Result) Bound() float64 {
+	return math.Exp2(r.Log2Bound)
+}
+
+// Compute solves the AGM linear program for the query, where sizes[i] is the
+// number of tuples in the relation instance of atom i. Empty relations are
+// treated as size 1 (log 0 is -inf; an empty input makes the output empty
+// regardless, and a zero-weight cover cannot use it).
+func Compute(q *query.Query, sizes []int) (*Result, error) {
+	if len(sizes) != len(q.Atoms) {
+		return nil, fmt.Errorf("agm: %d sizes for %d atoms", len(sizes), len(q.Atoms))
+	}
+	n := len(q.Atoms)
+	c := make([]float64, n)
+	for i, s := range sizes {
+		if s < 1 {
+			s = 1
+		}
+		c[i] = math.Log2(float64(s))
+	}
+	vars := q.Vars()
+	a := make([][]float64, len(vars))
+	b := make([]float64, len(vars))
+	for vi, v := range vars {
+		row := make([]float64, n)
+		for _, ai := range q.AtomsWith(v) {
+			row[ai] = 1
+		}
+		a[vi] = row
+		b[vi] = 1
+	}
+	x, obj, err := lp.MinimizeCover(c, a, b)
+	if err != nil {
+		return nil, fmt.Errorf("agm: %w", err)
+	}
+	return &Result{Cover: x, Log2Bound: obj}, nil
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig runs every artifact on the smallest catalog dataset with a
+// short timeout: this exercises the full harness code path (sites, sample
+// swapping, all engines, formatting) without taking benchmark-scale time.
+func tinyConfig(out *strings.Builder) Config {
+	return Config{
+		Out:      out,
+		Timeout:  400 * time.Millisecond,
+		Datasets: []string{"ca-GrQc"},
+		Repeats:  1,
+		Workers:  1,
+	}
+}
+
+func TestTablesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	var out strings.Builder
+	h := NewHarness(tinyConfig(&out))
+	for name, f := range map[string]func() error{
+		"Table1": h.Table1,
+		"Table3": h.Table3,
+		"Table4": h.Table4,
+		"Table6": h.Table6,
+	} {
+		if err := f(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	s := out.String()
+	for _, want := range []string{"Table 1", "Table 3", "Table 4", "Table 6", "ca-GrQc", "3-clique"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestTable7AndFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	var out strings.Builder
+	cfg := tinyConfig(&out)
+	h := NewHarness(cfg)
+	if err := h.Table7(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2-lollipop") {
+		t.Error("Table 7 output missing lollipop block")
+	}
+	// Figures run on the fixed big stand-ins; keep to the clique figure with
+	// an even tighter budget by checking argument validation only here.
+	if err := h.FigurePathScaling(9); err == nil {
+		t.Error("invalid figure number should fail")
+	}
+	if err := h.FigureCliqueScaling(2); err == nil {
+		t.Error("invalid figure number should fail")
+	}
+}
+
+func TestResultFormatting(t *testing.T) {
+	cases := []struct {
+		r    result
+		want string
+	}{
+		{result{seconds: 0.001, status: ok}, "0.001"},
+		{result{seconds: 1.234, status: ok}, "1.23"},
+		{result{seconds: 42.4, status: ok}, "42"},
+		{result{status: timeout}, "-"},
+		{result{status: memory}, "mem"},
+		{result{status: notSupported}, "n/a"},
+		{result{status: failed}, "err"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%+v => %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRatioFormatting(t *testing.T) {
+	okFast := result{seconds: 1, status: ok}
+	okSlow := result{seconds: 4, status: ok}
+	to := result{status: timeout}
+	if got := ratio(okSlow, okFast); got != "4.00" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := ratio(to, okFast); got != "inf" {
+		t.Errorf("timeout baseline ratio = %q, want inf", got)
+	}
+	if got := ratio(okFast, to); got != "-" {
+		t.Errorf("timeout treatment ratio = %q, want -", got)
+	}
+}
+
+func TestMatrixLayout(t *testing.T) {
+	var out strings.Builder
+	m := newMatrix("T", "row", []string{"c1", "longcolumn"})
+	r := m.addRow("r1")
+	m.set(r, 0, "x")
+	m.note("hello %d", 7)
+	m.write(&out)
+	s := out.String()
+	if !strings.Contains(s, "longcolumn") || !strings.Contains(s, "note: hello 7") {
+		t.Errorf("matrix output malformed:\n%s", s)
+	}
+	// Empty cells render as ".".
+	if !strings.Contains(s, ".") {
+		t.Error("empty cell placeholder missing")
+	}
+}
+
+func TestConfigTiers(t *testing.T) {
+	small := Config{Scale: "small"}.datasets()
+	med := Config{Scale: "medium"}.datasets()
+	full := Config{Scale: "full"}.datasets()
+	if len(small) != 8 || len(med) != 12 || len(full) != 15 {
+		t.Errorf("tier sizes = %d/%d/%d, want 8/12/15", len(small), len(med), len(full))
+	}
+	over := Config{Scale: "full", Datasets: []string{"ca-GrQc"}}.datasets()
+	if len(over) != 1 {
+		t.Errorf("override ignored: %v", over)
+	}
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// matrix is a simple aligned text table with row and column labels.
+type matrix struct {
+	title   string
+	colHead string
+	cols    []string
+	rows    []string
+	cells   map[[2]int]string
+	notes   []string
+}
+
+func newMatrix(title, colHead string, cols []string) *matrix {
+	return &matrix{title: title, colHead: colHead, cols: cols, cells: make(map[[2]int]string)}
+}
+
+func (m *matrix) addRow(label string) int {
+	m.rows = append(m.rows, label)
+	return len(m.rows) - 1
+}
+
+func (m *matrix) set(row, col int, v string) {
+	m.cells[[2]int{row, col}] = v
+}
+
+func (m *matrix) note(format string, args ...interface{}) {
+	m.notes = append(m.notes, fmt.Sprintf(format, args...))
+}
+
+func (m *matrix) write(w io.Writer) {
+	fmt.Fprintf(w, "\n%s\n%s\n", m.title, strings.Repeat("=", len(m.title)))
+	// Column widths.
+	labelW := len(m.colHead)
+	for _, r := range m.rows {
+		if len(r) > labelW {
+			labelW = len(r)
+		}
+	}
+	colW := make([]int, len(m.cols))
+	for j, c := range m.cols {
+		colW[j] = len(c)
+		for i := range m.rows {
+			if v, ok := m.cells[[2]int{i, j}]; ok && len(v) > colW[j] {
+				colW[j] = len(v)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-*s", labelW, m.colHead)
+	for j, c := range m.cols {
+		fmt.Fprintf(w, "  %*s", colW[j], c)
+	}
+	fmt.Fprintln(w)
+	for i, r := range m.rows {
+		fmt.Fprintf(w, "%-*s", labelW, r)
+		for j := range m.cols {
+			v := m.cells[[2]int{i, j}]
+			if v == "" {
+				v = "."
+			}
+			fmt.Fprintf(w, "  %*s", colW[j], v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range m.notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// series prints an x/y table for figures (one column per engine).
+type series struct {
+	title  string
+	xLabel string
+	cols   []string
+	xs     []string
+	cells  map[[2]int]string
+	notes  []string
+}
+
+func newSeries(title, xLabel string, cols []string) *series {
+	return &series{title: title, xLabel: xLabel, cols: cols, cells: make(map[[2]int]string)}
+}
+
+func (s *series) addX(x string) int {
+	s.xs = append(s.xs, x)
+	return len(s.xs) - 1
+}
+
+func (s *series) set(xi, col int, v string) {
+	s.cells[[2]int{xi, col}] = v
+}
+
+func (s *series) note(format string, args ...interface{}) {
+	s.notes = append(s.notes, fmt.Sprintf(format, args...))
+}
+
+func (s *series) write(w io.Writer) {
+	m := newMatrix(s.title, s.xLabel, s.cols)
+	for xi, x := range s.xs {
+		m.addRow(x)
+		for j := range s.cols {
+			if v, ok := s.cells[[2]int{xi, j}]; ok {
+				m.set(xi, j, v)
+			}
+		}
+	}
+	m.notes = s.notes
+	m.write(w)
+}
+
+// ratio renders a speedup ratio like the paper's Tables 1–3; infinite
+// speedups (baseline timed out while the treatment finished) print as "inf",
+// matching the paper's ∞-means-thrashing convention.
+func ratio(baseline, treatment result) string {
+	switch {
+	case baseline.status == timeout && treatment.status == ok:
+		return "inf"
+	case baseline.status != ok || treatment.status != ok:
+		return "-"
+	case treatment.seconds <= 0:
+		return "inf"
+	default:
+		return fmt.Sprintf("%.2f", baseline.seconds/treatment.seconds)
+	}
+}

@@ -1,0 +1,171 @@
+// Package core holds the pieces shared by every join engine in the
+// reproduction: the database (a named collection of relations with a cache
+// of GAO-consistent secondary indexes, §4.1) and the Engine interface the
+// benchmark harness drives.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// DB is a collection of named relations. Engines request GAO-consistent
+// secondary indexes through Index; results are cached because the paper's
+// protocol reuses the same physical design across queries (§4.1: "all input
+// relations are indexed consistent with this GAO").
+type DB struct {
+	mu      sync.Mutex
+	rels    map[string]*relation.Relation
+	indexes map[string]*relation.Relation
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		rels:    make(map[string]*relation.Relation),
+		indexes: make(map[string]*relation.Relation),
+	}
+}
+
+// Add registers a relation under its name, replacing any previous relation
+// with that name and invalidating its cached indexes.
+func (db *DB) Add(r *relation.Relation) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.rels[r.Name()] = r
+	prefix := r.Name() + "/"
+	for k := range db.indexes {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			delete(db.indexes, k)
+		}
+	}
+}
+
+// Relation returns the named relation.
+func (db *DB) Relation(name string) (*relation.Relation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// Names returns the registered relation names (unordered).
+func (db *DB) Names() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Index returns the named relation with its columns permuted by perm and
+// re-sorted, caching the result. perm[k] is the source column stored at
+// output position k.
+func (db *DB) Index(name string, perm []int) (*relation.Relation, error) {
+	key := name + "/"
+	for _, p := range perm {
+		key += strconv.Itoa(p) + ","
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if idx, ok := db.indexes[key]; ok {
+		return idx, nil
+	}
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown relation %q", name)
+	}
+	idx := r.Permute(perm)
+	db.indexes[key] = idx
+	return idx, nil
+}
+
+// Engine is a join algorithm. Count returns the number of result tuples of
+// the natural join; Enumerate calls emit for every result tuple with the
+// variable bindings in q.Vars() order and stops early if emit returns false.
+// Both honor context cancellation.
+type Engine interface {
+	Name() string
+	Count(ctx context.Context, q *query.Query, db *DB) (int64, error)
+	Enumerate(ctx context.Context, q *query.Query, db *DB, emit func([]int64) bool) error
+}
+
+// AtomIndex resolves the GAO-consistent index for one atom: the atom's
+// variables sorted by GAO position, the permutation applied, and the global
+// GAO positions of its columns in index order.
+type AtomIndex struct {
+	Rel *relation.Relation
+	// VarPos[k] is the GAO position of the index's column k.
+	VarPos []int
+}
+
+// BindAtoms builds GAO-consistent indexes for all atoms of a query
+// (paper §4.1). gaoIndex maps variable name to GAO position.
+func BindAtoms(q *query.Query, db *DB, gao []string) ([]AtomIndex, error) {
+	pos := make(map[string]int, len(gao))
+	for i, v := range gao {
+		pos[v] = i
+	}
+	out := make([]AtomIndex, len(q.Atoms))
+	for i, a := range q.Atoms {
+		order := make([]int, len(a.Vars)) // column order by GAO position
+		for k := range order {
+			order[k] = k
+		}
+		for x := 0; x < len(order); x++ {
+			for y := x + 1; y < len(order); y++ {
+				if pos[a.Vars[order[y]]] < pos[a.Vars[order[x]]] {
+					order[x], order[y] = order[y], order[x]
+				}
+			}
+		}
+		idx, err := db.Index(a.Rel, order)
+		if err != nil {
+			return nil, err
+		}
+		varPos := make([]int, len(order))
+		for k, col := range order {
+			p, ok := pos[a.Vars[col]]
+			if !ok {
+				return nil, fmt.Errorf("core: GAO misses variable %q of atom %s", a.Vars[col], a)
+			}
+			varPos[k] = p
+		}
+		out[i] = AtomIndex{Rel: idx, VarPos: varPos}
+	}
+	return out, nil
+}
+
+// CheckEvery is how many inner-loop steps engines may take between context
+// checks; exported so all engines share the same responsiveness contract.
+const CheckEvery = 4096
+
+// Ticker counts engine steps and surfaces context cancellation with low
+// overhead.
+type Ticker struct {
+	n   int
+	ctx context.Context
+}
+
+// NewTicker returns a Ticker for ctx.
+func NewTicker(ctx context.Context) *Ticker { return &Ticker{ctx: ctx} }
+
+// Tick reports a non-nil error when the context is done; it only inspects
+// the context every CheckEvery calls.
+func (t *Ticker) Tick() error {
+	t.n++
+	if t.n%CheckEvery != 0 {
+		return nil
+	}
+	return t.ctx.Err()
+}

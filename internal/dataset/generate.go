@@ -1,0 +1,205 @@
+// Package dataset provides the graph substrate for the benchmark harness.
+// The paper evaluates on 15 SNAP network datasets [7]; this environment has
+// no network access, so the package generates deterministic synthetic
+// stand-ins whose scale (nodes, edges) and triangle-density regime match the
+// originals qualitatively — see DESIGN.md §5 for the substitution argument.
+// Three generative models cover the regimes:
+//
+//   - Erdős–Rényi: near-random topology, almost no triangles (the
+//     p2p-Gnutella graphs);
+//   - Barabási–Albert: heavy-tailed degrees, moderate clustering (most
+//     social/collaboration graphs);
+//   - Holme–Kim: preferential attachment with triad formation, high
+//     clustering (ego-Facebook, ego-Twitter, com-Orkut).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Model selects a generative model.
+type Model int
+
+const (
+	// ErdosRenyi draws m uniform random edges.
+	ErdosRenyi Model = iota
+	// BarabasiAlbert grows the graph by preferential attachment.
+	BarabasiAlbert
+	// HolmeKim is Barabási–Albert with a triad-formation step after each
+	// preferential attachment, yielding high clustering.
+	HolmeKim
+)
+
+func (m Model) String() string {
+	switch m {
+	case ErdosRenyi:
+		return "erdos-renyi"
+	case BarabasiAlbert:
+		return "barabasi-albert"
+	case HolmeKim:
+		return "holme-kim"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// Graph is an undirected simple graph with vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges [][2]int64
+}
+
+// Generate produces a deterministic graph for the given model. nodes must be
+// positive; edgeTarget guides the average degree (it is matched exactly for
+// Erdős–Rényi up to duplicate draws, and approximately for the attachment
+// models, which add ~edgeTarget/nodes edges per new vertex).
+func Generate(model Model, nodes, edgeTarget int, seed int64) *Graph {
+	if nodes <= 0 {
+		panic("dataset: nodes must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch model {
+	case ErdosRenyi:
+		return erdosRenyi(rng, nodes, edgeTarget)
+	case BarabasiAlbert:
+		return attachment(rng, nodes, edgeTarget, 0)
+	case HolmeKim:
+		return attachment(rng, nodes, edgeTarget, 0.6)
+	default:
+		panic(fmt.Sprintf("dataset: unknown model %v", model))
+	}
+}
+
+// edgeSet deduplicates undirected edges.
+type edgeSet struct {
+	seen  map[[2]int64]struct{}
+	edges [][2]int64
+}
+
+func newEdgeSet(capacity int) *edgeSet {
+	return &edgeSet{seen: make(map[[2]int64]struct{}, capacity)}
+}
+
+func (s *edgeSet) add(u, v int64) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]int64{u, v}
+	if _, ok := s.seen[key]; ok {
+		return false
+	}
+	s.seen[key] = struct{}{}
+	s.edges = append(s.edges, key)
+	return true
+}
+
+func erdosRenyi(rng *rand.Rand, n, m int) *Graph {
+	s := newEdgeSet(m)
+	attempts := 0
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	for len(s.edges) < m && attempts < 20*m+1000 {
+		attempts++
+		s.add(int64(rng.Intn(n)), int64(rng.Intn(n)))
+	}
+	return &Graph{N: n, Edges: s.edges}
+}
+
+// attachment implements Barabási–Albert growth; with triadP > 0 each
+// attachment is followed (with probability triadP) by a triad-formation
+// step linking to a random neighbor of the just-chosen target (Holme–Kim).
+func attachment(rng *rand.Rand, n, edgeTarget int, triadP float64) *Graph {
+	mPer := edgeTarget / n
+	if mPer < 1 {
+		mPer = 1
+	}
+	if mPer >= n {
+		mPer = n - 1
+	}
+	s := newEdgeSet(edgeTarget)
+	// Repeated-target list: vertices appear once per incident edge endpoint,
+	// so uniform draws realize preferential attachment.
+	var targets []int64
+	adj := make(map[int64][]int64, n)
+	link := func(u, v int64) {
+		if s.add(u, v) {
+			targets = append(targets, u, v)
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+	}
+	// Seed clique over the first mPer+1 vertices.
+	seedSize := mPer + 1
+	for i := 0; i < seedSize; i++ {
+		for j := i + 1; j < seedSize; j++ {
+			link(int64(i), int64(j))
+		}
+	}
+	for v := seedSize; v < n; v++ {
+		var last int64 = -1
+		for e := 0; e < mPer; e++ {
+			var t int64
+			if len(targets) == 0 {
+				t = int64(rng.Intn(v))
+			} else {
+				t = targets[rng.Intn(len(targets))]
+			}
+			if t == int64(v) {
+				continue
+			}
+			link(int64(v), t)
+			// Triad formation (Holme–Kim): close a triangle through a
+			// neighbor of the target.
+			if last >= 0 && triadP > 0 && rng.Float64() < triadP {
+				nb := adj[t]
+				if len(nb) > 0 {
+					w := nb[rng.Intn(len(nb))]
+					if w != int64(v) {
+						link(int64(v), w)
+					}
+				}
+			}
+			last = t
+		}
+	}
+	return &Graph{N: n, Edges: s.edges}
+}
+
+// Sample selects each vertex independently with probability 1/s — the
+// paper's selectivity protocol (§5.1: "selecting nodes with probability
+// 1/s"). A deterministic rng keeps runs reproducible.
+func (g *Graph) Sample(rng *rand.Rand, s int) []int64 {
+	if s <= 1 {
+		out := make([]int64, g.N)
+		for i := range out {
+			out[i] = int64(i)
+		}
+		return out
+	}
+	var out []int64
+	for v := 0; v < g.N; v++ {
+		if rng.Intn(s) == 0 {
+			out = append(out, int64(v))
+		}
+	}
+	if len(out) == 0 && g.N > 0 {
+		out = append(out, int64(rng.Intn(g.N)))
+	}
+	return out
+}
+
+// EdgePrefix returns a graph over the first k edges (the Figures 6–7
+// protocol: "gradually increase the number of edges selected from the
+// LiveJournal dataset").
+func (g *Graph) EdgePrefix(k int) *Graph {
+	if k > len(g.Edges) {
+		k = len(g.Edges)
+	}
+	return &Graph{N: g.N, Edges: g.Edges[:k]}
+}

@@ -1,0 +1,282 @@
+// Package engine ties the join algorithms together behind one registry and
+// implements the paper's §4.10 multi-threading strategy: the output space is
+// partitioned into p = workers × granularity jobs on the first GAO
+// attribute, submitted to a worker pool; idle workers grab the next
+// unclaimed job (work stealing), because on skewed graphs "the parts are not
+// born equal".
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/genericjoin"
+	"repro/internal/graphengine"
+	"repro/internal/hybrid"
+	"repro/internal/hypergraph"
+	"repro/internal/lftj"
+	"repro/internal/minesweeper"
+	"repro/internal/pairwise"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/yannakakis"
+)
+
+// Algorithm names a join engine. The names match the paper's system labels
+// (§5.1): lb/lftj, lb/ms, lb/hybrid, psql, monetdb, graphlab, plus the
+// yannakakis yardstick.
+type Algorithm string
+
+// Available algorithms.
+const (
+	LFTJ       Algorithm = "lftj"
+	MS         Algorithm = "ms"
+	Hybrid     Algorithm = "hybrid"
+	PSQL       Algorithm = "psql"
+	MonetDB    Algorithm = "monetdb"
+	Yannakakis Algorithm = "yannakakis"
+	GraphLab   Algorithm = "graphlab"
+	// GenericJoin is the paper's Algorithm 1 — the recursive,
+	// intersection-materializing formulation of a worst-case-optimal join —
+	// kept as an implementation ablation against the leapfrog formulation.
+	GenericJoin Algorithm = "genericjoin"
+)
+
+// Algorithms lists every registered algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{LFTJ, MS, Hybrid, PSQL, MonetDB, Yannakakis, GraphLab, GenericJoin}
+}
+
+// Options configure execution.
+type Options struct {
+	Algorithm Algorithm
+	// Workers sets the worker-pool size for the parallel engines (LFTJ and
+	// Minesweeper); 0 means GOMAXPROCS, 1 disables parallelism.
+	Workers int
+	// Granularity is the paper's factor f: jobs = workers × f. 0 picks the
+	// paper's defaults (1 for β-acyclic queries, 8 for cyclic ones).
+	Granularity int
+	// MS carries Minesweeper idea toggles (ablation benchmarks).
+	MS minesweeper.Options
+	// GAO overrides the attribute order for LFTJ and Minesweeper.
+	GAO []string
+	// MaxRows caps pairwise-engine intermediates.
+	MaxRows int
+}
+
+// New returns the configured engine.
+func New(opts Options) (core.Engine, error) {
+	switch opts.Algorithm {
+	case LFTJ, MS:
+		return &parallel{opts: opts}, nil
+	case Hybrid:
+		return hybrid.Engine{}, nil
+	case PSQL:
+		return pairwise.Engine{Opts: pairwise.Options{Flavor: pairwise.DP, MaxRows: opts.MaxRows}}, nil
+	case MonetDB:
+		return pairwise.Engine{Opts: pairwise.Options{Flavor: pairwise.Greedy, MaxRows: opts.MaxRows}}, nil
+	case Yannakakis:
+		return yannakakis.Engine{}, nil
+	case GraphLab:
+		return graphengine.Engine{Workers: opts.Workers}, nil
+	case GenericJoin:
+		return genericjoin.Engine{GAO: opts.GAO}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown algorithm %q", opts.Algorithm)
+	}
+}
+
+// parallel partitions Count across first-attribute ranges; Enumerate runs
+// single-threaded (deterministic emission order).
+type parallel struct {
+	opts Options
+}
+
+// Name implements core.Engine.
+func (p *parallel) Name() string { return string(p.opts.Algorithm) }
+
+func (p *parallel) single() core.Engine {
+	if p.opts.Algorithm == LFTJ {
+		return lftj.Engine{Opts: lftj.Options{GAO: p.gao()}}
+	}
+	ms := p.opts.MS
+	if ms.GAO == nil {
+		ms.GAO = p.opts.GAO
+	}
+	return minesweeper.Engine{Opts: ms}
+}
+
+func (p *parallel) gao() []string { return p.opts.GAO }
+
+func (p *parallel) workers() int {
+	if p.opts.Workers > 0 {
+		return p.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// granularity applies the paper's default f (§4.10): 1 for β-acyclic
+// queries, 8 for cyclic ones, "determined after minor micro experiments".
+func (p *parallel) granularity(q *query.Query) int {
+	if p.opts.Granularity > 0 {
+		return p.opts.Granularity
+	}
+	if _, ok := hypergraph.FindChainGAO(q.Vars(), q.Atoms); ok {
+		return 1
+	}
+	return 8
+}
+
+// Enumerate implements core.Engine.
+func (p *parallel) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit func([]int64) bool) error {
+	return p.single().Enumerate(ctx, q, db, emit)
+}
+
+// Count implements core.Engine.
+func (p *parallel) Count(ctx context.Context, q *query.Query, db *core.DB) (int64, error) {
+	workers := p.workers()
+	jobs, err := p.splitJobs(q, db, workers*p.granularity(q))
+	if err != nil {
+		return 0, err
+	}
+	if workers <= 1 || len(jobs) <= 1 {
+		return p.single().Count(ctx, q, db)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	jobCh := make(chan [2]int64, len(jobs))
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				if err := ctx.Err(); err != nil {
+					errCh <- err
+					return
+				}
+				// Each job gets a fresh engine: per-job CDS and memo state,
+				// released before the next job is claimed (§4.10).
+				n, err := p.rangeCount(ctx, q, db, job[0], job[1])
+				if err != nil {
+					errCh <- err
+					cancel()
+					return
+				}
+				total.Add(n)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return total.Load(), nil
+}
+
+func (p *parallel) rangeCount(ctx context.Context, q *query.Query, db *core.DB, lo, hi int64) (int64, error) {
+	if p.opts.Algorithm == LFTJ {
+		e := lftj.Engine{Opts: lftj.Options{GAO: p.gao(), FirstVarRange: &lftj.Range{Lo: lo, Hi: hi}}}
+		return e.Count(ctx, q, db)
+	}
+	ms := p.opts.MS
+	if ms.GAO == nil {
+		ms.GAO = p.opts.GAO
+	}
+	ms.FirstVarRange = &minesweeper.Range{Lo: lo, Hi: hi}
+	return minesweeper.Engine{Opts: ms}.Count(ctx, q, db)
+}
+
+// splitJobs partitions the first GAO variable's candidate values into up to
+// n contiguous ranges of roughly equal candidate counts (the paper's
+// "p equal-sized parts" of the output space).
+func (p *parallel) splitJobs(q *query.Query, db *core.DB, n int) ([][2]int64, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	gao := p.opts.GAO
+	if gao == nil {
+		if p.opts.Algorithm == MS {
+			plan, err := hypergraph.PlanQuery(q)
+			if err != nil {
+				return nil, err
+			}
+			gao = plan.GAO
+		} else {
+			gao = q.Vars()
+		}
+	}
+	first := gao[0]
+	atoms := q.AtomsWith(first)
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("engine: variable %q unbound", first)
+	}
+	// Use the smallest relation containing the first variable to pick cut
+	// points from its distinct values on that column.
+	var bestRel *relation.Relation
+	bestCol := 0
+	for _, ai := range atoms {
+		r, err := db.Relation(q.Atoms[ai].Rel)
+		if err != nil {
+			return nil, err
+		}
+		col := 0
+		for c, v := range q.Atoms[ai].Vars {
+			if v == first {
+				col = c
+				break
+			}
+		}
+		if bestRel == nil || r.Len() < bestRel.Len() {
+			bestRel, bestCol = r, col
+		}
+	}
+	var values []int64
+	seen := make(map[int64]bool)
+	for i := 0; i < bestRel.Len(); i++ {
+		v := bestRel.Value(i, bestCol)
+		if !seen[v] {
+			seen[v] = true
+			values = append(values, v)
+		}
+	}
+	sortInt64(values)
+	if n < 1 {
+		n = 1
+	}
+	if len(values) < n {
+		n = len(values)
+	}
+	if n <= 1 {
+		return [][2]int64{{-1, relation.PosInf}}, nil
+	}
+	jobs := make([][2]int64, 0, n)
+	lo := int64(-1)
+	for i := 1; i < n; i++ {
+		cut := values[i*len(values)/n]
+		if cut <= lo {
+			continue
+		}
+		jobs = append(jobs, [2]int64{lo, cut})
+		lo = cut
+	}
+	jobs = append(jobs, [2]int64{lo, relation.PosInf})
+	return jobs, nil
+}
+
+func sortInt64(v []int64) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}

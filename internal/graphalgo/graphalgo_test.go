@@ -1,0 +1,135 @@
+package graphalgo
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func adjFor(t *testing.T, edges [][2]int64) *Adjacency {
+	t.Helper()
+	db := testutil.GraphDB(edges, nil)
+	a, err := BuildAdjacency(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBFSPathGraph(t *testing.T) {
+	a := adjFor(t, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {5, 6}})
+	dist, err := a.BFS(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]int{0: 0, 1: 1, 2: 2, 3: 3}
+	if !reflect.DeepEqual(dist, want) {
+		t.Errorf("BFS = %v, want %v", dist, want)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	a := adjFor(t, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 3}})
+	path, ok, err := a.ShortestPath(context.Background(), 0, 3)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if len(path) != 3 || path[0] != 0 || path[2] != 3 {
+		t.Errorf("path = %v, want a 2-hop route 0..3", path)
+	}
+	if _, ok, _ := a.ShortestPath(context.Background(), 0, 99); ok {
+		t.Error("disconnected vertices should not have a path")
+	}
+	self, ok, _ := a.ShortestPath(context.Background(), 2, 2)
+	if !ok || !reflect.DeepEqual(self, []int64{2}) {
+		t.Errorf("self path = %v", self)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	a := adjFor(t, [][2]int64{{0, 1}, {1, 2}, {5, 6}})
+	comp, err := a.ConnectedComponents(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp[0] != comp[2] || comp[0] == comp[5] {
+		t.Errorf("components = %v", comp)
+	}
+}
+
+func TestPageRankStarGraph(t *testing.T) {
+	// Star: hub 0 connected to 1..4; hub must out-rank leaves, ranks sum ~1.
+	a := adjFor(t, [][2]int64{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	rank, err := a.PageRank(context.Background(), 0.85, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %v, want 1", sum)
+	}
+	for v := int64(1); v <= 4; v++ {
+		if rank[0] <= rank[v] {
+			t.Errorf("hub rank %v <= leaf rank %v", rank[0], rank[v])
+		}
+	}
+	if _, err := a.PageRank(context.Background(), 1.5, 1); err == nil {
+		t.Error("bad damping should fail")
+	}
+}
+
+// Property-ish check: BFS distances satisfy the triangle condition on random
+// graphs (each edge relaxes distances by at most 1).
+func TestBFSRelaxation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	edges := testutil.RandomGraph(rng, 40, 120)
+	a := adjFor(t, edges)
+	dist, err := a.BFS(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		du, okU := dist[e[0]]
+		dv, okV := dist[e[1]]
+		if okU != okV {
+			t.Fatalf("edge %v crosses the reachable boundary", e)
+		}
+		if okU && abs(du-dv) > 1 {
+			t.Errorf("edge %v has distance gap %d", e, abs(du-dv))
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := adjFor(t, testutil.RandomGraph(rng, 2000, 8000))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.BFS(ctx, 0); err == nil {
+		t.Error("BFS should honor cancellation")
+	}
+	if _, err := a.PageRank(ctx, 0.85, 10); err == nil {
+		t.Error("PageRank should honor cancellation")
+	}
+}
+
+func TestMissingEdgeRelation(t *testing.T) {
+	db := testutil.GraphDB(nil, nil)
+	if _, err := BuildAdjacency(db); err != nil {
+		t.Fatalf("empty edge relation should build: %v", err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package hybrid implements the paper's §4.12 combination algorithm for
+// lollipop queries: Minesweeper-style evaluation of the β-acyclic path part
+// (benefiting from Ideas 5–6 caching on the path attributes) and Leapfrog
+// Triejoin for the clique part, with the clique count memoized per
+// attachment vertex — "all gaps are used to advance the frontier" on the
+// clique side. Because the two parts share exactly one variable, the total
+// is Σ over path bindings of cliqueCount(attachment).
+package hybrid
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/lftj"
+	"repro/internal/minesweeper"
+	"repro/internal/query"
+)
+
+// Engine is the hybrid engine. It accepts queries that split into a
+// β-acyclic part and a remainder sharing a single attachment variable — the
+// paper's {2,3}-lollipop shapes. Splits are detected automatically.
+type Engine struct{}
+
+// Name implements core.Engine.
+func (Engine) Name() string { return "hybrid" }
+
+// Split describes the decomposition of a query.
+type split struct {
+	pathAtoms   []query.Atom
+	cliqueAtoms []query.Atom
+	attachment  string
+}
+
+// splitQuery partitions atoms into the longest chain-valid (β-acyclic)
+// prefix whose remainder shares exactly one variable with it — the lollipop
+// shape: the path part up to and including the attachment vertex, and the
+// clique hanging off it. Queries without such a split are rejected.
+func splitQuery(q *query.Query) (*split, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Atoms) < 2 {
+		return nil, fmt.Errorf("hybrid: query %q has no split point", q.Name)
+	}
+	for k := len(q.Atoms) - 1; k >= 1; k-- {
+		path := q.Atoms[:k]
+		clique := q.Atoms[k:]
+		if !chainValid(path) {
+			continue
+		}
+		inPath := make(map[string]bool)
+		for _, v := range varsOf(path) {
+			inPath[v] = true
+		}
+		var shared []string
+		for _, v := range varsOf(clique) {
+			if inPath[v] {
+				shared = append(shared, v)
+			}
+		}
+		// The remainder must be genuinely cyclic — otherwise the whole query
+		// is β-acyclic and Minesweeper alone is the right tool (§5.2.2).
+		if len(shared) == 1 && !chainValid(clique) {
+			return &split{pathAtoms: path, cliqueAtoms: clique, attachment: shared[0]}, nil
+		}
+	}
+	return nil, fmt.Errorf("hybrid: query %q has no path/clique split with a single attachment variable", q.Name)
+}
+
+func chainValid(atoms []query.Atom) bool {
+	_, ok := hypergraph.FindChainGAO(varsOf(atoms), atoms)
+	return ok
+}
+
+func varsOf(atoms []query.Atom) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range atoms {
+		for _, v := range a.Vars {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Count implements core.Engine.
+func (e Engine) Count(ctx context.Context, q *query.Query, db *core.DB) (int64, error) {
+	sp, err := splitQuery(q)
+	if err != nil {
+		return 0, err
+	}
+	// Path part: enumerate with Minesweeper, counting bindings per
+	// attachment value. Enumerating (rather than counting) is required: the
+	// multiplier differs per attachment vertex.
+	pathQ := query.New(q.Name+"/path", sp.pathAtoms...)
+	attachIdx := -1
+	for i, v := range pathQ.Vars() {
+		if v == sp.attachment {
+			attachIdx = i
+			break
+		}
+	}
+	if attachIdx < 0 {
+		return 0, fmt.Errorf("hybrid: attachment %q missing from path part", sp.attachment)
+	}
+	pathCounts := make(map[int64]int64)
+	ms := minesweeper.Engine{}
+	if err := ms.Enumerate(ctx, pathQ, db, func(t []int64) bool {
+		pathCounts[t[attachIdx]]++
+		return true
+	}); err != nil {
+		return 0, err
+	}
+
+	// Clique part: LFTJ restricted to each needed attachment value, memoized
+	// ("Idea 7 implemented completely on the clique part").
+	cliqueQ := query.New(q.Name+"/clique", sp.cliqueAtoms...)
+	gao := append([]string{sp.attachment}, others(cliqueQ.Vars(), sp.attachment)...)
+	var total int64
+	for v, mult := range pathCounts {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		cnt, err := (lftj.Engine{Opts: lftj.Options{
+			GAO:           gao,
+			FirstVarRange: &lftj.Range{Lo: v, Hi: v + 1},
+		}}).Count(ctx, cliqueQ, db)
+		if err != nil {
+			return 0, err
+		}
+		total += mult * cnt
+	}
+	return total, nil
+}
+
+func others(vars []string, skip string) []string {
+	var out []string
+	for _, v := range vars {
+		if v != skip {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Enumerate implements core.Engine by joining the parts explicitly; it is
+// provided for completeness and testing (the paper's hybrid is count-only).
+func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit func([]int64) bool) error {
+	sp, err := splitQuery(q)
+	if err != nil {
+		return err
+	}
+	pathQ := query.New(q.Name+"/path", sp.pathAtoms...)
+	cliqueQ := query.New(q.Name+"/clique", sp.cliqueAtoms...)
+	idx := q.VarIndex()
+	pathPerm := make([]int, len(pathQ.Vars()))
+	for i, v := range pathQ.Vars() {
+		pathPerm[i] = idx[v]
+	}
+	cliquePerm := make([]int, len(cliqueQ.Vars()))
+	for i, v := range cliqueQ.Vars() {
+		cliquePerm[i] = idx[v]
+	}
+	attachPath := -1
+	for i, v := range pathQ.Vars() {
+		if v == sp.attachment {
+			attachPath = i
+		}
+	}
+	gao := append([]string{sp.attachment}, others(cliqueQ.Vars(), sp.attachment)...)
+	// Group clique bindings per attachment value lazily.
+	cliqueCache := make(map[int64][][]int64)
+	out := make([]int64, q.NumVars())
+	stop := false
+	err = (minesweeper.Engine{}).Enumerate(ctx, pathQ, db, func(pt []int64) bool {
+		v := pt[attachPath]
+		rows, ok := cliqueCache[v]
+		if !ok {
+			err := (lftj.Engine{Opts: lftj.Options{
+				GAO:           gao,
+				FirstVarRange: &lftj.Range{Lo: v, Hi: v + 1},
+			}}).Enumerate(ctx, cliqueQ, db, func(ct []int64) bool {
+				rows = append(rows, append([]int64(nil), ct...))
+				return true
+			})
+			if err != nil {
+				stop = true
+				return false
+			}
+			cliqueCache[v] = rows
+		}
+		for _, ct := range rows {
+			for i, p := range pathPerm {
+				out[p] = pt[i]
+			}
+			for i, p := range cliquePerm {
+				out[p] = ct[i]
+			}
+			if !emit(out) {
+				stop = true
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	_ = stop
+	return ctx.Err()
+}

@@ -1,0 +1,173 @@
+// Package hypergraph analyzes the structure of join queries (paper §2.1):
+// α-acyclicity via GYO ear removal, β-acyclicity via nest-point elimination,
+// join trees for Yannakakis, and — central to Minesweeper — global attribute
+// order (GAO) selection: the chain condition that operationalizes nested
+// elimination orders (Prop 4.2), the paper's longest-path scoring (§4.9),
+// and β-acyclic skeletons for cyclic queries (Idea 7).
+package hypergraph
+
+import (
+	"sort"
+
+	"repro/internal/query"
+)
+
+// Hypergraph is the query hypergraph H(Q) = (V, E): vertices are variables,
+// edges are the variable sets of atoms (deduplicated).
+type Hypergraph struct {
+	Vars  []string
+	Edges [][]string // each sorted by Vars order, deduplicated
+}
+
+// FromQuery builds the hypergraph of a query.
+func FromQuery(q *query.Query) *Hypergraph {
+	idx := q.VarIndex()
+	seen := make(map[string]bool)
+	h := &Hypergraph{Vars: append([]string(nil), q.Vars()...)}
+	for _, a := range q.Atoms {
+		vars := append([]string(nil), a.Vars...)
+		sort.Slice(vars, func(i, j int) bool { return idx[vars[i]] < idx[vars[j]] })
+		key := ""
+		for _, v := range vars {
+			key += v + "|"
+		}
+		if !seen[key] {
+			seen[key] = true
+			h.Edges = append(h.Edges, vars)
+		}
+	}
+	return h
+}
+
+func toSet(vars []string) map[string]bool {
+	s := make(map[string]bool, len(vars))
+	for _, v := range vars {
+		s[v] = true
+	}
+	return s
+}
+
+func subset(a, b map[string]bool) bool {
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAlphaAcyclic reports α-acyclicity via the GYO reduction: repeatedly (1)
+// remove vertices that occur in exactly one edge ("ear vertices") and (2)
+// remove edges contained in another edge, until fixpoint. The hypergraph is
+// α-acyclic iff everything is eliminated.
+func (h *Hypergraph) IsAlphaAcyclic() bool {
+	edges := make([]map[string]bool, len(h.Edges))
+	for i, e := range h.Edges {
+		edges[i] = toSet(e)
+	}
+	for {
+		changed := false
+		// Remove vertices occurring in exactly one edge.
+		occ := make(map[string]int)
+		for _, e := range edges {
+			for v := range e {
+				occ[v]++
+			}
+		}
+		for _, e := range edges {
+			for v := range e {
+				if occ[v] == 1 {
+					delete(e, v)
+					changed = true
+				}
+			}
+		}
+		// Remove empty edges and edges contained in another edge.
+		var kept []map[string]bool
+		for i, e := range edges {
+			if len(e) == 0 {
+				changed = true
+				continue
+			}
+			contained := false
+			for j, f := range edges {
+				if i == j {
+					continue
+				}
+				if subset(e, f) && (len(e) < len(f) || i > j) {
+					contained = true
+					break
+				}
+			}
+			if contained {
+				changed = true
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+		if len(edges) == 0 {
+			return true
+		}
+		if !changed {
+			return false
+		}
+	}
+}
+
+// nestPoint reports whether vertex v is a nest point: the edges containing v
+// are totally ordered by inclusion.
+func nestPoint(v string, edges []map[string]bool) bool {
+	var inc []map[string]bool
+	for _, e := range edges {
+		if e[v] {
+			inc = append(inc, e)
+		}
+	}
+	for i := 0; i < len(inc); i++ {
+		for j := i + 1; j < len(inc); j++ {
+			if !subset(inc[i], inc[j]) && !subset(inc[j], inc[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NestPointElimination attempts to eliminate all vertices by repeatedly
+// removing a nest point. It returns the elimination order and whether the
+// hypergraph is β-acyclic (elimination succeeded). A hypergraph is β-acyclic
+// iff every subhypergraph is α-acyclic, equivalently iff nest-point
+// elimination empties it.
+func (h *Hypergraph) NestPointElimination() (order []string, ok bool) {
+	edges := make([]map[string]bool, len(h.Edges))
+	for i, e := range h.Edges {
+		edges[i] = toSet(e)
+	}
+	remaining := append([]string(nil), h.Vars...)
+	for len(remaining) > 0 {
+		found := -1
+		for i, v := range remaining {
+			if nestPoint(v, edges) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return order, false
+		}
+		v := remaining[found]
+		order = append(order, v)
+		remaining = append(remaining[:found], remaining[found+1:]...)
+		for _, e := range edges {
+			delete(e, v)
+		}
+	}
+	return order, true
+}
+
+// IsBetaAcyclic reports β-acyclicity.
+func (h *Hypergraph) IsBetaAcyclic() bool {
+	_, ok := h.NestPointElimination()
+	return ok
+}

@@ -1,0 +1,93 @@
+package hypergraph
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+)
+
+// JoinTree is a join tree over the atoms of an α-acyclic query: node i is
+// atom i, Parent[i] is the parent atom index (-1 for the root), and the
+// running-intersection property holds (for any variable, the atoms
+// containing it form a connected subtree). Yannakakis' algorithm [17]
+// executes semijoin passes over this tree.
+type JoinTree struct {
+	Root   int
+	Parent []int
+	// Order is a bottom-up ordering of the nodes (children before parents).
+	Order []int
+}
+
+// BuildJoinTree constructs a join tree by GYO ear removal over the atoms.
+// It fails if the query is not α-acyclic.
+func BuildJoinTree(q *query.Query) (*JoinTree, error) {
+	n := len(q.Atoms)
+	if n == 0 {
+		return nil, fmt.Errorf("hypergraph: empty query")
+	}
+	sets := make([]map[string]bool, n)
+	for i, a := range q.Atoms {
+		sets[i] = toSet(a.Vars)
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var order []int
+	remaining := n
+	for remaining > 1 {
+		// Find an ear: an edge e whose vertices are each either exclusive to
+		// e or contained in a single witness edge f.
+		earFound := false
+		for i := 0; i < n && !earFound; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if i == j || !alive[j] {
+					continue
+				}
+				if isEar(i, j, sets, alive) {
+					parent[i] = j
+					alive[i] = false
+					order = append(order, i)
+					remaining--
+					earFound = true
+					break
+				}
+			}
+		}
+		if !earFound {
+			return nil, fmt.Errorf("hypergraph: query %q is not alpha-acyclic", q.Name)
+		}
+	}
+	root := -1
+	for i, a := range alive {
+		if a {
+			root = i
+			break
+		}
+	}
+	order = append(order, root)
+	return &JoinTree{Root: root, Parent: parent, Order: order}, nil
+}
+
+// isEar reports whether edge i is an ear with witness j: every vertex of i
+// is exclusive to i (among alive edges) or belongs to j.
+func isEar(i, j int, sets []map[string]bool, alive []bool) bool {
+	for v := range sets[i] {
+		if sets[j][v] {
+			continue
+		}
+		for k, s := range sets {
+			if k != i && alive[k] && s[v] {
+				return false
+			}
+		}
+	}
+	return true
+}

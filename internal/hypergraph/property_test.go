@@ -1,0 +1,97 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/query"
+)
+
+// randomBinaryQuery builds a random query over binary edge atoms plus unary
+// atoms — the shape of every graph-pattern workload in the paper.
+func randomBinaryQuery(rng *rand.Rand) *query.Query {
+	nVars := 2 + rng.Intn(4)
+	vars := make([]string, nVars)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i)
+	}
+	var atoms []query.Atom
+	nAtoms := 1 + rng.Intn(5)
+	for i := 0; i < nAtoms; i++ {
+		if rng.Intn(4) == 0 {
+			atoms = append(atoms, query.Atom{Rel: "u", Vars: []string{vars[rng.Intn(nVars)]}})
+			continue
+		}
+		a, b := rng.Intn(nVars), rng.Intn(nVars)
+		if a == b {
+			b = (b + 1) % nVars
+		}
+		atoms = append(atoms, query.Atom{Rel: "e", Vars: []string{vars[a], vars[b]}})
+	}
+	return query.New("rnd", atoms...)
+}
+
+// Property: whatever FindChainGAO returns must actually satisfy the chain
+// condition and cover every variable.
+func TestFindChainGAOSelfConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomBinaryQuery(rng)
+		gao, ok := FindChainGAO(q.Vars(), q.Atoms)
+		if !ok {
+			return true
+		}
+		if len(gao) != q.NumVars() {
+			return false
+		}
+		return IsChainGAO(gao, q.Atoms)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Prop 4.2 direction): β-acyclicity implies a chain GAO exists.
+func TestBetaAcyclicImpliesChainGAO(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomBinaryQuery(rng)
+		if !FromQuery(q).IsBetaAcyclic() {
+			return true
+		}
+		_, ok := FindChainGAO(q.Vars(), q.Atoms)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PlanQuery always yields a GAO covering all variables, a
+// chain-valid skeleton, and a partition of the atoms.
+func TestPlanQueryInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomBinaryQuery(rng)
+		plan, err := PlanQuery(q)
+		if err != nil {
+			return true // some random queries legitimately have no skeleton
+		}
+		if len(plan.GAO) != q.NumVars() {
+			return false
+		}
+		if len(plan.Skeleton)+len(plan.OffSkel) != len(q.Atoms) {
+			return false
+		}
+		var kept []query.Atom
+		for _, i := range plan.Skeleton {
+			kept = append(kept, q.Atoms[i])
+		}
+		return IsChainGAO(plan.GAO, kept)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

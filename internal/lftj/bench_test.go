@@ -1,0 +1,38 @@
+package lftj
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/testutil"
+)
+
+func BenchmarkTriangleCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	db := testutil.RandomGraphDB(rng, 2000, 12000, 1)
+	q := query.Clique(3)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Engine{}).Count(ctx, q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFourCliqueCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	db := testutil.RandomGraphDB(rng, 2000, 12000, 1)
+	q := query.Clique(4)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Engine{}).Count(ctx, q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

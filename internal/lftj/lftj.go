@@ -1,0 +1,238 @@
+// Package lftj implements Leapfrog Triejoin (paper §2.2, [15]), the
+// worst-case-optimal multiway join that LogicBlox ships: variables are bound
+// one at a time in a global attribute order, and at each variable the
+// participating atoms' trie iterators "leapfrog" over each other in a
+// multiway sorted intersection. Runtime is Õ(N + AGM(Q)).
+package lftj
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Range restricts the first GAO variable to [Lo, Hi); the parallel executor
+// (§4.10) partitions the output space with it.
+type Range struct {
+	Lo, Hi int64
+}
+
+// Options configure the engine.
+type Options struct {
+	// GAO overrides the variable order; empty means the query's
+	// first-appearance order.
+	GAO []string
+	// FirstVarRange restricts the first GAO variable for parallel jobs.
+	FirstVarRange *Range
+}
+
+// Engine is the Leapfrog Triejoin engine.
+type Engine struct {
+	Opts Options
+}
+
+// Name implements core.Engine.
+func (Engine) Name() string { return "lftj" }
+
+// Count implements core.Engine.
+func (e Engine) Count(ctx context.Context, q *query.Query, db *core.DB) (int64, error) {
+	var n int64
+	err := e.Enumerate(ctx, q, db, func([]int64) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// Enumerate implements core.Engine.
+func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit func([]int64) bool) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	gao := e.Opts.GAO
+	if gao == nil {
+		gao = q.Vars()
+	}
+	if len(gao) != q.NumVars() {
+		return fmt.Errorf("lftj: GAO %v does not cover the %d query variables", gao, q.NumVars())
+	}
+	atoms, err := core.BindAtoms(q, db, gao)
+	if err != nil {
+		return err
+	}
+	for i, a := range atoms {
+		if a.Rel.Arity() != len(q.Atoms[i].Vars) {
+			return fmt.Errorf("lftj: atom %s arity mismatch with relation %s", q.Atoms[i], a.Rel)
+		}
+	}
+	ex := &exec{
+		n:       len(gao),
+		binding: make([]int64, len(gao)),
+		emit:    emit,
+		tick:    core.NewTicker(ctx),
+		rng:     e.Opts.FirstVarRange,
+	}
+	// outPerm maps GAO position to q.Vars() position for emitted tuples.
+	idx := q.VarIndex()
+	ex.outPerm = make([]int, len(gao))
+	for g, v := range gao {
+		ex.outPerm[g] = idx[v]
+	}
+	// For each GAO depth, the iterators of participating atoms.
+	ex.byVar = make([][]*relation.TrieIterator, len(gao))
+	iters := make([]*relation.TrieIterator, len(atoms))
+	for i, a := range atoms {
+		iters[i] = relation.NewTrieIterator(a.Rel)
+		for _, p := range a.VarPos {
+			ex.byVar[p] = append(ex.byVar[p], iters[i])
+		}
+	}
+	for d, its := range ex.byVar {
+		if len(its) == 0 {
+			return fmt.Errorf("lftj: variable %s (depth %d) not bound by any atom", gao[d], d)
+		}
+	}
+	_, err = ex.run(0)
+	return err
+}
+
+type exec struct {
+	n       int
+	byVar   [][]*relation.TrieIterator
+	binding []int64
+	outPerm []int
+	emit    func([]int64) bool
+	tick    *core.Ticker
+	rng     *Range
+	out     []int64
+}
+
+// run executes the triejoin at GAO depth d; it returns false when
+// enumeration should stop (emit returned false).
+func (ex *exec) run(d int) (bool, error) {
+	its := ex.byVar[d]
+	for _, it := range its {
+		it.Open()
+	}
+	defer func() {
+		for _, it := range its {
+			it.Up()
+		}
+	}()
+	lf := leapfrog{its: its}
+	if !lf.init() {
+		return true, nil
+	}
+	if d == 0 && ex.rng != nil {
+		if !lf.seek(ex.rng.Lo) {
+			return true, nil
+		}
+	}
+	for {
+		if err := ex.tick.Tick(); err != nil {
+			return false, err
+		}
+		key := lf.key
+		if d == 0 && ex.rng != nil && key >= ex.rng.Hi {
+			return true, nil
+		}
+		ex.binding[d] = key
+		if d == ex.n-1 {
+			if !ex.emitTuple() {
+				return false, nil
+			}
+		} else {
+			cont, err := ex.run(d + 1)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		if !lf.next() {
+			return true, nil
+		}
+	}
+}
+
+func (ex *exec) emitTuple() bool {
+	if ex.out == nil {
+		ex.out = make([]int64, ex.n)
+	}
+	for g, v := range ex.outPerm {
+		ex.out[v] = ex.binding[g]
+	}
+	return ex.emit(ex.out)
+}
+
+// leapfrog is the multiway sorted intersection of one trie level across the
+// participating atoms (Veldhuizen's leapfrog-init/search/next).
+type leapfrog struct {
+	its []*relation.TrieIterator
+	p   int
+	key int64
+}
+
+// init sorts the iterators by key and finds the first match. It returns
+// false if the intersection is empty.
+func (lf *leapfrog) init() bool {
+	for _, it := range lf.its {
+		if it.AtEnd() {
+			return false
+		}
+	}
+	// Insertion sort by current key; the lists are tiny.
+	for i := 1; i < len(lf.its); i++ {
+		for j := i; j > 0 && lf.its[j].Key() < lf.its[j-1].Key(); j-- {
+			lf.its[j], lf.its[j-1] = lf.its[j-1], lf.its[j]
+		}
+	}
+	lf.p = 0
+	return lf.search()
+}
+
+// search advances iterators until all agree on a key.
+func (lf *leapfrog) search() bool {
+	k := len(lf.its)
+	max := lf.its[(lf.p+k-1)%k].Key()
+	for {
+		it := lf.its[lf.p]
+		x := it.Key()
+		if x == max {
+			lf.key = x
+			return true
+		}
+		it.SeekGE(max)
+		if it.AtEnd() {
+			return false
+		}
+		max = it.Key()
+		lf.p = (lf.p + 1) % k
+	}
+}
+
+// next moves past the current match.
+func (lf *leapfrog) next() bool {
+	it := lf.its[lf.p]
+	it.Next()
+	if it.AtEnd() {
+		return false
+	}
+	lf.p = (lf.p + 1) % len(lf.its)
+	return lf.search()
+}
+
+// seek positions the intersection at the least match >= v.
+func (lf *leapfrog) seek(v int64) bool {
+	if lf.key >= v {
+		return true
+	}
+	it := lf.its[lf.p]
+	it.SeekGE(v)
+	if it.AtEnd() {
+		return false
+	}
+	lf.p = (lf.p + 1) % len(lf.its)
+	return lf.search()
+}

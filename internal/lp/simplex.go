@@ -1,0 +1,180 @@
+// Package lp provides a small dense two-phase simplex solver for the
+// covering linear programs that arise from the AGM fractional edge cover
+// bound (paper Appendix A). Problem sizes are tiny (one variable per atom,
+// one constraint per query variable), so a textbook tableau implementation
+// with Bland's anti-cycling rule is entirely adequate.
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInfeasible is returned when the constraint system has no solution.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded below.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const eps = 1e-9
+
+// MinimizeCover solves
+//
+//	min  c·x   subject to   A·x >= b,  x >= 0
+//
+// with b >= 0, returning the optimal x and objective value.
+func MinimizeCover(c []float64, a [][]float64, b []float64) (x []float64, obj float64, err error) {
+	m, n := len(a), len(c)
+	for i := range b {
+		if b[i] < 0 {
+			return nil, 0, errors.New("lp: MinimizeCover requires b >= 0")
+		}
+	}
+	// Tableau columns: n structural + m surplus + m artificial + 1 rhs.
+	// Row i: a_i·x - s_i + t_i = b_i.
+	cols := n + 2*m + 1
+	tab := make([][]float64, m+1)
+	for i := 0; i <= m; i++ {
+		tab[i] = make([]float64, cols)
+	}
+	for i := 0; i < m; i++ {
+		copy(tab[i], a[i])
+		tab[i][n+i] = -1
+		tab[i][n+m+i] = 1
+		tab[i][cols-1] = b[i]
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + m + i
+	}
+
+	// Phase 1: minimize the sum of artificials. The objective row holds the
+	// reduced costs of min Σ t_i expressed over the current (artificial)
+	// basis: start from the raw costs, then zero out the basic columns by
+	// subtracting every constraint row.
+	obj1 := tab[m]
+	for i := 0; i < m; i++ {
+		obj1[n+m+i] = 1
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < cols; j++ {
+			obj1[j] -= tab[i][j]
+		}
+	}
+	if err := pivotLoop(tab, basis, n+2*m); err != nil {
+		return nil, 0, err
+	}
+	if tab[m][cols-1] < -eps {
+		return nil, 0, ErrInfeasible
+	}
+	// Drive any remaining artificial variables out of the basis.
+	for i, bi := range basis {
+		if bi < n+m {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n+m; j++ {
+			if math.Abs(tab[i][j]) > eps {
+				pivot(tab, basis, i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; the artificial stays at value zero.
+			_ = pivoted
+		}
+	}
+
+	// Phase 2: replace the objective row with the real objective expressed
+	// over the current basis.
+	for j := range tab[m] {
+		tab[m][j] = 0
+	}
+	for j := 0; j < n; j++ {
+		tab[m][j] = c[j]
+	}
+	for i, bi := range basis {
+		coef := tab[m][bi]
+		if coef == 0 {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			tab[m][j] -= coef * tab[i][j]
+		}
+	}
+	if err := pivotLoop(tab, basis, n+m); err != nil {
+		return nil, 0, err
+	}
+
+	x = make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = tab[i][cols-1]
+		}
+	}
+	obj = 0
+	for j := 0; j < n; j++ {
+		obj += c[j] * x[j]
+	}
+	return x, obj, nil
+}
+
+// pivotLoop runs simplex iterations until no entering column with negative
+// reduced cost remains among columns [0, limit). Bland's rule (lowest
+// eligible indices) guarantees termination.
+func pivotLoop(tab [][]float64, basis []int, limit int) error {
+	m := len(basis)
+	cols := len(tab[0])
+	for iter := 0; iter < 10000; iter++ {
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if tab[m][j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil
+		}
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > eps {
+				ratio := tab[i][cols-1] / tab[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		pivot(tab, basis, leave, enter)
+	}
+	return errors.New("lp: iteration limit exceeded")
+}
+
+func pivot(tab [][]float64, basis []int, row, col int) {
+	cols := len(tab[0])
+	p := tab[row][col]
+	for j := 0; j < cols; j++ {
+		tab[row][j] /= p
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+	if row < len(basis) {
+		basis[row] = col
+	}
+}

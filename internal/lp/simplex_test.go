@@ -1,0 +1,163 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestTriangleCover(t *testing.T) {
+	// Triangle query cover LP with equal edge sizes: min x1+x2+x3 s.t. each
+	// vertex covered by its two incident edges. Optimum 3/2.
+	c := []float64{1, 1, 1}
+	a := [][]float64{
+		{1, 0, 1}, // vertex a in edges ab, ac
+		{1, 1, 0}, // vertex b in edges ab, bc
+		{0, 1, 1}, // vertex c in edges bc, ac
+	}
+	b := []float64{1, 1, 1}
+	x, obj, err := MinimizeCover(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(obj, 1.5) {
+		t.Errorf("obj = %v, want 1.5", obj)
+	}
+	for i, xi := range x {
+		if !almostEqual(xi, 0.5) {
+			t.Errorf("x[%d] = %v, want 0.5", i, xi)
+		}
+	}
+}
+
+func TestPathCover(t *testing.T) {
+	// Path a-b-c: edges ab, bc. min x1+x2 s.t. a: x1>=1, b: x1+x2>=1, c: x2>=1.
+	x, obj, err := MinimizeCover(
+		[]float64{1, 1},
+		[][]float64{{1, 0}, {1, 1}, {0, 1}},
+		[]float64{1, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(obj, 2) || !almostEqual(x[0], 1) || !almostEqual(x[1], 1) {
+		t.Errorf("x=%v obj=%v, want [1 1] 2", x, obj)
+	}
+}
+
+func TestWeightedObjective(t *testing.T) {
+	// Two parallel edges covering the same single vertex; the cheaper one
+	// should carry all the weight.
+	x, obj, err := MinimizeCover(
+		[]float64{5, 2},
+		[][]float64{{1, 1}},
+		[]float64{1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(obj, 2) || !almostEqual(x[1], 1) {
+		t.Errorf("x=%v obj=%v, want weight on the cheap column", x, obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// A vertex contained in no edge: 0 >= 1 is infeasible.
+	_, _, err := MinimizeCover([]float64{1}, [][]float64{{0}}, []float64{1})
+	if err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestNegativeRHSRejected(t *testing.T) {
+	if _, _, err := MinimizeCover([]float64{1}, [][]float64{{1}}, []float64{-1}); err == nil {
+		t.Error("negative rhs should be rejected")
+	}
+}
+
+func TestZeroCostDegenerate(t *testing.T) {
+	// Zero objective: any feasible point is optimal with objective 0.
+	x, obj, err := MinimizeCover([]float64{0, 0}, [][]float64{{1, 1}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(obj, 0) || x[0]+x[1] < 1-1e-6 {
+		t.Errorf("x=%v obj=%v", x, obj)
+	}
+}
+
+// Property: on random covering instances the solution is feasible and its
+// objective is no worse than several random feasible integer covers.
+func TestSimplexProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5) // columns
+		m := 1 + rng.Intn(5) // rows
+		a := make([][]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			a[i][rng.Intn(n)] = 1 // guarantee feasibility
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					a[i][j] = 1
+				}
+			}
+		}
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = 1 + rng.Float64()*9
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = 1
+		}
+		x, obj, err := MinimizeCover(c, a, b)
+		if err != nil {
+			return false
+		}
+		// Feasibility.
+		for i := 0; i < m; i++ {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				lhs += a[i][j] * x[j]
+			}
+			if lhs < 1-1e-6 {
+				return false
+			}
+		}
+		for j := 0; j < n; j++ {
+			if x[j] < -1e-9 {
+				return false
+			}
+		}
+		// Optimality sanity vs random 0/1 covers.
+		for trial := 0; trial < 20; trial++ {
+			y := make([]float64, n)
+			cost := 0.0
+			for j := range y {
+				if rng.Intn(2) == 0 {
+					y[j] = 1
+					cost += c[j]
+				}
+			}
+			feasible := true
+			for i := 0; i < m && feasible; i++ {
+				lhs := 0.0
+				for j := 0; j < n; j++ {
+					lhs += a[i][j] * y[j]
+				}
+				feasible = lhs >= 1-1e-9
+			}
+			if feasible && cost < obj-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

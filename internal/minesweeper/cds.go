@@ -1,0 +1,540 @@
+// Package minesweeper implements the Minesweeper join algorithm (paper §2.3
+// and §4): the engine repeatedly asks the constraint data structure (CDS)
+// for a "free tuple" not ruled out by any known gap, probes the input
+// indexes around it, and either reports an output or learns new gap boxes.
+// All of the paper's implementation ideas are present and individually
+// toggleable: the pointList encoding (Idea 1), the moving frontier (Idea 2),
+// geometric gap certificates (Idea 3), probe memoization (Idea 4),
+// backtracking with interval caching and truncation (Idea 5), complete
+// nodes (Idea 6), β-acyclic skeletons for cyclic queries (Idea 7), and
+// count-mode subtree reuse in the spirit of #Minesweeper (Idea 8).
+package minesweeper
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+const (
+	negInf = relation.NegInf
+	posInf = relation.PosInf
+)
+
+// debugTrace, when non-nil, observes every ComputeFreeTuple iteration
+// (tests only).
+var debugTrace func(d int, x, y int64, killDepth int, dead bool, t []int64)
+
+// Constraint is one gap box (paper Def 4.1): equalities at ascending GAO
+// positions EqPos (values EqVal), one open interval (Lo, Hi) at position
+// Col, wildcards elsewhere and everywhere after Col.
+type Constraint struct {
+	EqPos []int
+	EqVal []int64
+	Col   int
+	Lo    int64
+	Hi    int64
+}
+
+// point is one entry of a node's pointList (Idea 1): a domain value that is
+// an interval endpoint (isL opens an interval ending at the next point with
+// isR) and/or carries a child edge of the CDS tree.
+type point struct {
+	v     int64
+	isL   bool
+	isR   bool
+	child *node
+}
+
+// node is a CDS tree node at depth d: its pattern is the label sequence of
+// the root path (values at equality edges, * at star edges), its intervals
+// constrain GAO attribute d. The pointList invariants are:
+//
+//   - points are sorted by strictly increasing value;
+//   - an isL point's interval ends exactly at the next point, which has isR
+//     (intervals are disjoint, open, and have no interior points);
+//   - child edges exist only at points (values not interior to an interval).
+type node struct {
+	depth     int
+	eqMask    uint64 // bit p set iff pattern has an equality at position p
+	parent    *node
+	edgeVal   int64 // label of the edge from parent (if edgeIsVal)
+	edgeIsVal bool
+	points    []point
+	star      *node
+	// hasIntervals records whether any interval was ever inserted; only
+	// interval-bearing nodes belong to the principal filter G_i (§4.7:
+	// "u.intervals ≠ ∅"), which keeps the chains properly nested.
+	hasIntervals bool
+	// Idea 6 bookkeeping: number of full sweeps to +inf with this node as
+	// chain bottom; complete after the second (see DESIGN.md §3).
+	exhausted int
+	complete  bool
+	// Counting hook (#Minesweeper): invalidated cached sums would go here;
+	// the engine's count memo supersedes per-node sums (DESIGN.md §4).
+}
+
+func newNode(depth int, parent *node, edgeVal int64, edgeIsVal bool) *node {
+	nd := &node{depth: depth, parent: parent, edgeVal: edgeVal, edgeIsVal: edgeIsVal}
+	if parent != nil {
+		nd.eqMask = parent.eqMask
+		if edgeIsVal {
+			nd.eqMask |= 1 << uint(depth-1)
+		}
+	}
+	return nd
+}
+
+// find returns the index of the first point with value >= v.
+func (nd *node) find(v int64) int {
+	return sort.Search(len(nd.points), func(i int) bool { return nd.points[i].v >= v })
+}
+
+// next returns the least value y >= x not covered by nd's intervals
+// (v.Next from §4.3). Interval endpoints themselves are not covered (open
+// intervals).
+func (nd *node) next(x int64) int64 {
+	i := nd.find(x)
+	if i < len(nd.points) && nd.points[i].v == x {
+		return x
+	}
+	if i > 0 && nd.points[i-1].isL {
+		// x lies strictly inside the interval opened at points[i-1], which
+		// by the invariant closes at points[i].
+		return nd.points[i].v
+	}
+	return x
+}
+
+// covered reports whether x lies strictly inside one of nd's intervals.
+func (nd *node) covered(x int64) bool { return nd.next(x) != x }
+
+// hasNoFreeValue reports whether nd's intervals cover the entire value
+// domain (§4.3: "v.Next(−1) = +∞, i.e. all values in N are covered").
+// Attribute values are natural numbers (relation.Builder enforces >= 0), so
+// covering everything from -1 upward rules the whole axis out.
+func (nd *node) hasNoFreeValue() bool {
+	return nd.next(-1) >= posInf
+}
+
+// childAt returns the child along the value edge labeled v, or nil.
+func (nd *node) childAt(v int64) *node {
+	i := nd.find(v)
+	if i < len(nd.points) && nd.points[i].v == v {
+		return nd.points[i].child
+	}
+	return nil
+}
+
+// ensureChild returns the child along the value edge labeled v, creating the
+// point and node as needed. The caller must ensure v is not covered.
+func (nd *node) ensureChild(v int64) *node {
+	i := nd.find(v)
+	if i < len(nd.points) && nd.points[i].v == v {
+		if nd.points[i].child == nil {
+			nd.points[i].child = newNode(nd.depth+1, nd, v, true)
+		}
+		return nd.points[i].child
+	}
+	nd.points = append(nd.points, point{})
+	copy(nd.points[i+1:], nd.points[i:])
+	nd.points[i] = point{v: v, child: newNode(nd.depth+1, nd, v, true)}
+	return nd.points[i].child
+}
+
+// ensureStar returns the star child, creating it as needed.
+func (nd *node) ensureStar() *node {
+	if nd.star == nil {
+		nd.star = newNode(nd.depth+1, nd, 0, false)
+	}
+	return nd.star
+}
+
+// insertInterval inserts the open interval (l, r), merging with overlapping
+// intervals and deleting interior points (whose child subtrees die with
+// them). Intervals covering no integer are ignored.
+func (nd *node) insertInterval(l, r int64) {
+	if r <= l+1 {
+		return
+	}
+	nd.hasIntervals = true
+	// Extend endpoints over intervals that strictly cover them: if l (resp.
+	// r) lies inside an existing interval, widen to that interval's left
+	// (resp. right) endpoint; by the invariant the interval opened at
+	// points[i-1] closes exactly at points[i].
+	if i := nd.find(l); i > 0 && (i >= len(nd.points) || nd.points[i].v != l) && nd.points[i-1].isL {
+		l = nd.points[i-1].v
+	}
+	if i := nd.find(r); i > 0 && (i >= len(nd.points) || nd.points[i].v != r) && nd.points[i-1].isL {
+		r = nd.points[i].v
+	}
+	// Delete points strictly inside (l, r).
+	lo := nd.find(l + 1)
+	hi := nd.find(r)
+	if lo < hi {
+		nd.points = append(nd.points[:lo], nd.points[hi:]...)
+	}
+	// Materialize the endpoints with their flags.
+	nd.setEndpoint(l, true)
+	nd.setEndpoint(r, false)
+}
+
+// setEndpoint ensures a point at v flagged as a left (isL) or right (isR)
+// interval endpoint.
+func (nd *node) setEndpoint(v int64, left bool) {
+	i := nd.find(v)
+	if i < len(nd.points) && nd.points[i].v == v {
+		if left {
+			nd.points[i].isL = true
+		} else {
+			nd.points[i].isR = true
+		}
+		return
+	}
+	nd.points = append(nd.points, point{})
+	copy(nd.points[i+1:], nd.points[i:])
+	nd.points[i] = point{v: v, isL: left, isR: !left}
+}
+
+// intervals returns the interval list for tests and debugging.
+func (nd *node) intervals() [][2]int64 {
+	var out [][2]int64
+	for i := 0; i < len(nd.points); i++ {
+		if nd.points[i].isL {
+			out = append(out, [2]int64{nd.points[i].v, nd.points[i+1].v})
+		}
+	}
+	return out
+}
+
+// CDS is the constraint data structure (§4.3): a tree of constraint nodes,
+// the moving frontier (Idea 2), and the per-depth chains of active nodes.
+type CDS struct {
+	n    int
+	root *node
+	// t is the frontier curFrontier (Idea 2); ComputeFreeTuple advances it
+	// in place to the next free tuple.
+	t []int64
+	// actives[d] holds every node at depth d whose pattern generalizes the
+	// current prefix (t[0..d-1]), sorted most-specialized first; the subset
+	// with constraints is the principal filter G_d of §4.7.
+	actives [][]*node
+	// chain is freeValue's scratch for the current principal filter.
+	chain []*node
+	// disableComplete turns Idea 6 off for the ablation benchmarks.
+	disableComplete bool
+	// Done is set when truncation proves the whole space is covered.
+	done bool
+	// steps counts free-value iterations, surfaced so the engine can poll
+	// its context regularly.
+	steps int
+	// Tick, when set, is polled once per free-value iteration; a non-nil
+	// error aborts ComputeFreeTuple (context cancellation).
+	Tick func() error
+	// Err holds the abort error after ComputeFreeTuple returns false.
+	Err error
+}
+
+// NewCDS returns an empty CDS for n attributes with frontier (-1, ..., -1).
+func NewCDS(n int, disableComplete bool) *CDS {
+	c := &CDS{
+		n:               n,
+		root:            newNode(0, nil, 0, false),
+		t:               make([]int64, n),
+		actives:         make([][]*node, n),
+		disableComplete: disableComplete,
+	}
+	for i := range c.t {
+		c.t[i] = -1
+	}
+	return c
+}
+
+// Frontier exposes the current frontier; ComputeFreeTuple leaves the free
+// tuple here. The slice must not be modified except through SetFrontier.
+func (c *CDS) Frontier() []int64 { return c.t }
+
+// SetFrontier replaces the frontier (used after outputs and for Idea 7
+// frontier advances). Values below the new frontier are the caller's
+// assertion that no unreported output remains there.
+func (c *CDS) SetFrontier(t []int64) {
+	copy(c.t, t)
+}
+
+// AdvanceOutput moves the frontier just past the reported output tuple
+// (Idea 2: no unit gap box is inserted).
+func (c *CDS) AdvanceOutput() {
+	c.t[c.n-1]++
+}
+
+// Steps returns the number of free-value iterations so far.
+func (c *CDS) Steps() int { return c.steps }
+
+// InsConstraint inserts a gap-box constraint (§4.3). Constraints subsumed by
+// existing coverage along their pattern path are dropped.
+func (c *CDS) InsConstraint(con Constraint) {
+	nd := c.root
+	ei := 0
+	for d := 0; d < con.Col; d++ {
+		if ei < len(con.EqPos) && con.EqPos[ei] == d {
+			v := con.EqVal[ei]
+			ei++
+			if nd.covered(v) {
+				return // subsumed: the whole branch is already ruled out
+			}
+			nd = nd.ensureChild(v)
+		} else {
+			nd = nd.ensureStar()
+		}
+	}
+	nd.insertInterval(con.Lo, con.Hi)
+}
+
+// ComputeFreeTuple advances the frontier to the next tuple >= the current
+// frontier (lexicographically) that is not covered by any stored constraint
+// (Algorithm 4, restructured per DESIGN.md §3: this routine owns all depth
+// and frontier mutations). It returns false when the space is exhausted.
+func (c *CDS) ComputeFreeTuple() bool {
+	if c.done {
+		return false
+	}
+	d := 0
+	c.actives[0] = append(c.actives[0][:0], c.root)
+	for {
+		c.steps++
+		if c.Tick != nil {
+			if err := c.Tick(); err != nil {
+				c.Err = err
+				return false
+			}
+		}
+		x := c.t[d]
+		y, killDepth, dead := c.freeValue(d, x)
+		if debugTrace != nil {
+			debugTrace(d, x, y, killDepth, dead, c.t)
+		}
+		if dead {
+			// truncate already inserted the kill interval (Algorithm 6).
+			if killDepth < 0 {
+				c.done = true
+				return false
+			}
+			d = killDepth
+			continue
+		}
+		if y >= posInf {
+			// This depth is exhausted for the current prefix: backtrack.
+			if len(c.chain) > 0 {
+				c.noteExhaust(c.chain[0])
+			}
+			d--
+			if d < 0 {
+				c.done = true
+				return false
+			}
+			c.t[d]++
+			c.resetBelow(d)
+			continue
+		}
+		if y != x {
+			c.t[d] = y
+			c.resetBelow(d)
+		}
+		if d == c.n-1 {
+			return true
+		}
+		c.computeActives(d + 1)
+		d++
+	}
+}
+
+func (c *CDS) resetBelow(d int) {
+	for i := d + 1; i < c.n; i++ {
+		c.t[i] = -1
+	}
+}
+
+// noteExhaust records a full sweep of a chain bottom (Idea 6): the second
+// sweep is guaranteed to have covered -1..+inf contiguously, after which the
+// pointList contains every free value.
+func (c *CDS) noteExhaust(u *node) {
+	if u.complete {
+		return
+	}
+	u.exhausted++
+	if u.exhausted >= 2 {
+		u.complete = true
+	}
+}
+
+// computeActives fills actives[d] with the children of actives[d-1] along
+// the t[d-1] value edge and the star edge, most-specialized first.
+func (c *CDS) computeActives(d int) {
+	next := c.actives[d][:0]
+	v := c.t[d-1]
+	for _, nd := range c.actives[d-1] {
+		if ch := nd.childAt(v); ch != nil {
+			next = append(next, ch)
+		}
+		if nd.star != nil {
+			next = append(next, nd.star)
+		}
+	}
+	sort.SliceStable(next, func(i, j int) bool {
+		return bits.OnesCount64(next[i].eqMask) > bits.OnesCount64(next[j].eqMask)
+	})
+	c.actives[d] = next
+}
+
+// freeValue returns the least value y >= x at depth d consistent with every
+// active node (Algorithm 5). When the chain bottom's intervals cover the
+// whole domain it truncates (Algorithm 6) and returns dead == true with the
+// depth to resume at (-1 when the whole space is dead).
+func (c *CDS) freeValue(d int, x int64) (y int64, killDepth int, dead bool) {
+	// The principal filter G_d: interval-bearing active nodes only (§4.7).
+	// Interval-less path nodes (created on the way to deeper constraints)
+	// contribute nothing to Next and would break the chain's nestedness.
+	g := c.chain[:0]
+	for _, nd := range c.actives[d] {
+		if nd.hasIntervals {
+			g = append(g, nd)
+		}
+	}
+	c.chain = g
+	if len(g) == 0 {
+		return x, 0, false
+	}
+	if nested(g) {
+		u := g[0]
+		if u.complete && !c.disableComplete {
+			// Idea 6 fast path: iterate without caching new intervals; the
+			// other chain nodes are consulted (cheaply) rather than trusted
+			// to have been merged, see DESIGN.md §3.
+			y = c.fixpoint(g, x)
+		} else {
+			y = c.freeVal(g, x)
+		}
+		if u.hasNoFreeValue() {
+			killDepth, dead = c.truncate(u)
+			return y, killDepth, dead
+		}
+		return y, 0, false
+	}
+	// Non-chain filter (β-cyclic query without the Idea 7 skeleton, §4.8):
+	// compute the merged free value without per-level caching and cache the
+	// union coverage into a specialization branch — a node whose pattern
+	// combines every chain node's equalities under the current prefix. This
+	// is the paper's "specialization branches have to be inserted into the
+	// CDS to cache the computation", and its cost is exactly why Idea 7
+	// exists.
+	y = c.fixpoint(g, x)
+	var mask uint64
+	for _, w := range g {
+		mask |= w.eqMask
+	}
+	if spec := c.ensureSpec(d, mask); spec != nil {
+		if y > x {
+			spec.insertInterval(x-1, y)
+		}
+		if spec.hasNoFreeValue() {
+			killDepth, dead = c.truncate(spec)
+			return y, killDepth, dead
+		}
+	}
+	return y, 0, false
+}
+
+// nested reports whether the popcount-sorted filter forms a specialization
+// chain (each node's equalities contain the next node's).
+func nested(g []*node) bool {
+	for i := 0; i+1 < len(g); i++ {
+		if g[i+1].eqMask&^g[i].eqMask != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureSpec finds or creates the depth-d specialization node whose pattern
+// has the current frontier's values at the positions in mask and stars
+// elsewhere. It returns nil when the branch is already ruled out.
+func (c *CDS) ensureSpec(d int, mask uint64) *node {
+	nd := c.root
+	for p := 0; p < d; p++ {
+		if mask&(1<<uint(p)) != 0 {
+			v := c.t[p]
+			if nd.covered(v) {
+				return nil
+			}
+			nd = nd.ensureChild(v)
+		} else {
+			nd = nd.ensureStar()
+		}
+	}
+	return nd
+}
+
+// freeVal is the ping-pong of Algorithm 5 on the chain suffix g, caching the
+// discovered coverage into the chain bottom (Idea 5) when every other node
+// generalizes it (always true under the chain condition; the guard keeps
+// non-chain fallbacks sound).
+func (c *CDS) freeVal(g []*node, x int64) int64 {
+	if len(g) == 0 {
+		return x
+	}
+	u := g[0]
+	cacheOK := true
+	for _, w := range g[1:] {
+		if w.eqMask&^u.eqMask != 0 {
+			cacheOK = false
+			break
+		}
+	}
+	y := x
+	for {
+		y = u.next(y)
+		z := c.freeVal(g[1:], y)
+		if z == y {
+			break
+		}
+		y = z
+	}
+	if cacheOK && y > x {
+		u.insertInterval(x-1, y)
+	}
+	return y
+}
+
+// fixpoint computes the chain-consistent free value without mutating any
+// node (used for complete bottoms and as a generic fallback).
+func (c *CDS) fixpoint(g []*node, x int64) int64 {
+	y := x
+	for {
+		z := y
+		for _, w := range g {
+			z = w.next(z)
+		}
+		if z == y {
+			return y
+		}
+		y = z
+	}
+}
+
+// truncate implements Algorithm 6: walk up from the dead node to the first
+// value-labeled edge and rule that branch out; star edges propagate the
+// deadness upward. Returns the depth whose value was killed, or -1 with
+// dead == true... (dead is always true; killDepth == -1 means the whole
+// space is covered).
+func (c *CDS) truncate(u *node) (killDepth int, dead bool) {
+	for u.parent != nil {
+		p := u.parent
+		if u.edgeIsVal {
+			p.insertInterval(u.edgeVal-1, u.edgeVal+1)
+			return p.depth, true
+		}
+		u = p
+	}
+	return -1, true
+}

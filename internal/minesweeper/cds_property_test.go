@@ -1,0 +1,110 @@
+package minesweeper
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+// TestFreeTupleEnumerationOracle checks the CDS against a brute-force
+// oracle: after inserting random gap-box constraints over a small domain
+// (plus upper-bound constraints so enumeration terminates), advancing
+// through ComputeFreeTuple must visit exactly the tuples not covered by any
+// constraint, in lexicographic order.
+func TestFreeTupleEnumerationOracle(t *testing.T) {
+	const (
+		n      = 3
+		maxVal = 6
+	)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, disableComplete := range []bool{false, true} {
+			c := NewCDS(n, disableComplete)
+			var cons []Constraint
+			// Random gap boxes.
+			for k := 0; k < 2+rng.Intn(10); k++ {
+				col := rng.Intn(n)
+				eqPos := make([]int, 0, col)
+				eqVal := make([]int64, 0, col)
+				for p := 0; p < col; p++ {
+					if rng.Intn(2) == 0 {
+						eqPos = append(eqPos, p)
+						eqVal = append(eqVal, int64(rng.Intn(maxVal+1)))
+					}
+				}
+				lo := int64(rng.Intn(maxVal+2) - 1)
+				hi := lo + int64(rng.Intn(4))
+				if rng.Intn(5) == 0 {
+					lo = relation.NegInf
+				}
+				if rng.Intn(5) == 0 {
+					hi = relation.PosInf
+				}
+				cons = append(cons, Constraint{EqPos: eqPos, EqVal: eqVal, Col: col, Lo: lo, Hi: hi})
+			}
+			// Terminators: everything above maxVal is covered on every axis.
+			for d := 0; d < n; d++ {
+				cons = append(cons, Constraint{Col: d, Lo: maxVal, Hi: relation.PosInf})
+			}
+			for _, con := range cons {
+				c.InsConstraint(con)
+			}
+
+			// Oracle: all tuples over [-1, maxVal]^n not inside any box.
+			var want [][3]int64
+			var tup [n]int64
+			var enumerate func(d int)
+			enumerate = func(d int) {
+				if d == n {
+					for _, con := range cons {
+						if boxCovers(con, tup[:]) {
+							return
+						}
+					}
+					want = append(want, [3]int64{tup[0], tup[1], tup[2]})
+					return
+				}
+				for v := int64(-1); v <= maxVal; v++ {
+					tup[d] = v
+					enumerate(d + 1)
+				}
+			}
+			enumerate(0)
+
+			var got [][3]int64
+			for c.ComputeFreeTuple() {
+				ft := c.Frontier()
+				got = append(got, [3]int64{ft[0], ft[1], ft[2]})
+				if len(got) > len(want)+8 {
+					return false // runaway enumeration
+				}
+				c.AdvanceOutput()
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// boxCovers reports whether the constraint's gap box contains the tuple.
+func boxCovers(c Constraint, t []int64) bool {
+	for i, p := range c.EqPos {
+		if t[p] != c.EqVal[i] {
+			return false
+		}
+	}
+	v := t[c.Col]
+	return v > c.Lo && v < c.Hi
+}

@@ -1,0 +1,314 @@
+package minesweeper
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointListInsertAndNext(t *testing.T) {
+	nd := newNode(0, nil, 0, false)
+	nd.insertInterval(5, 7)
+	if got := nd.intervals(); !reflect.DeepEqual(got, [][2]int64{{5, 7}}) {
+		t.Fatalf("intervals = %v", got)
+	}
+	if nd.next(6) != 7 {
+		t.Errorf("next(6) = %d, want 7", nd.next(6))
+	}
+	if nd.next(5) != 5 || nd.next(7) != 7 {
+		t.Error("open endpoints must stay free")
+	}
+	if nd.covered(6) != true || nd.covered(5) != false {
+		t.Error("covered wrong on endpoints/interior")
+	}
+}
+
+// TestPointListPaperExample replays the Figure 2 bottom node v with
+// intervals (1,3),(3,9),(10,14): pointList 1(L),3(L&R),9(R),10(L),14(R).
+func TestPointListPaperExample(t *testing.T) {
+	nd := newNode(0, nil, 0, false)
+	nd.insertInterval(3, 9)
+	nd.insertInterval(1, 3)
+	nd.insertInterval(10, 14)
+	want := [][2]int64{{1, 3}, {3, 9}, {10, 14}}
+	if got := nd.intervals(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("intervals = %v, want %v", got, want)
+	}
+	p := nd.points
+	if len(p) != 5 {
+		t.Fatalf("pointList has %d entries, want 5", len(p))
+	}
+	// 3 is both a left and a right endpoint, like the paper's example.
+	if !p[1].isL || !p[1].isR || p[1].v != 3 {
+		t.Errorf("point 3 = %+v, want L&R", p[1])
+	}
+	if nd.next(2) != 3 || nd.next(4) != 9 || nd.next(11) != 14 || nd.next(9) != 9 {
+		t.Error("next over the paper example is wrong")
+	}
+	// Inserting (2,4) bridges the touching intervals into (1,9).
+	nd.insertInterval(2, 4)
+	want = [][2]int64{{1, 9}, {10, 14}}
+	if got := nd.intervals(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after merge: intervals = %v, want %v", got, want)
+	}
+}
+
+func TestInsertIntervalMergesOverlaps(t *testing.T) {
+	nd := newNode(0, nil, 0, false)
+	nd.insertInterval(1, 5)
+	nd.insertInterval(3, 9)
+	if got := nd.intervals(); !reflect.DeepEqual(got, [][2]int64{{1, 9}}) {
+		t.Fatalf("intervals = %v, want [(1,9)]", got)
+	}
+	nd.insertInterval(0, 20)
+	if got := nd.intervals(); !reflect.DeepEqual(got, [][2]int64{{0, 20}}) {
+		t.Fatalf("intervals = %v, want [(0,20)]", got)
+	}
+}
+
+func TestInsertIntervalEmpty(t *testing.T) {
+	nd := newNode(0, nil, 0, false)
+	nd.insertInterval(5, 6) // open (5,6) covers no integer
+	nd.insertInterval(5, 5)
+	if len(nd.points) != 0 {
+		t.Errorf("empty intervals must not be stored: %v", nd.points)
+	}
+}
+
+func TestInsertIntervalRemovesChildren(t *testing.T) {
+	nd := newNode(0, nil, 0, false)
+	nd.ensureChild(5)
+	nd.ensureChild(8)
+	nd.insertInterval(4, 7) // kills child 5, keeps child 8
+	if nd.childAt(5) != nil {
+		t.Error("child 5 should be eliminated by the covering interval")
+	}
+	if nd.childAt(8) == nil {
+		t.Error("child 8 should survive")
+	}
+}
+
+func TestChildOnEndpointSurvives(t *testing.T) {
+	nd := newNode(0, nil, 0, false)
+	nd.ensureChild(5)
+	nd.insertInterval(5, 9) // 5 is an open endpoint: not covered
+	if nd.childAt(5) == nil {
+		t.Error("child at the open endpoint must survive")
+	}
+	if !nd.points[nd.find(5)].isL {
+		t.Error("endpoint flag missing on the child point")
+	}
+}
+
+func TestHasNoFreeValue(t *testing.T) {
+	nd := newNode(0, nil, 0, false)
+	if nd.hasNoFreeValue() {
+		t.Error("fresh node should have free values")
+	}
+	nd.insertInterval(negInf, 5)
+	nd.insertInterval(4, posInf)
+	if !nd.hasNoFreeValue() {
+		t.Errorf("(-inf,5)+(4,+inf) should cover everything: %v", nd.intervals())
+	}
+}
+
+// Property: a node's interval set behaves like a reference set of covered
+// integers under random inserts.
+func TestIntervalSetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := newNode(0, nil, 0, false)
+		covered := make(map[int64]bool)
+		const domain = 40
+		for op := 0; op < 30; op++ {
+			l := int64(rng.Intn(domain) - 2)
+			r := l + int64(rng.Intn(10))
+			nd.insertInterval(l, r)
+			for v := l + 1; v < r; v++ {
+				covered[v] = true
+			}
+			// Validate pointList invariants: sorted, L followed by R.
+			for i := 1; i < len(nd.points); i++ {
+				if nd.points[i-1].v >= nd.points[i].v {
+					return false
+				}
+				if nd.points[i-1].isL && !nd.points[i].isR {
+					return false
+				}
+			}
+			if len(nd.points) > 0 && nd.points[len(nd.points)-1].isL {
+				return false
+			}
+		}
+		for v := int64(-3); v < domain+10; v++ {
+			if nd.covered(v) != covered[v] {
+				return false
+			}
+			// next returns the least free value >= v.
+			want := v
+			for covered[want] {
+				want++
+			}
+			if nd.next(v) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCDSFigure2 replays the paper's Figure 2 construction and checks the
+// tree shape.
+func TestCDSFigure2(t *testing.T) {
+	c := NewCDS(5, false)
+	// <*,*,(5,7),*,*>
+	c.InsConstraint(Constraint{Col: 2, Lo: 5, Hi: 7})
+	// <*,*,7,*,(4,9)>
+	c.InsConstraint(Constraint{EqPos: []int{2}, EqVal: []int64{7}, Col: 4, Lo: 4, Hi: 9})
+	// star-star path to depth 2 holds (5,7).
+	n2 := c.root.star.star
+	if got := n2.intervals(); !reflect.DeepEqual(got, [][2]int64{{5, 7}}) {
+		t.Fatalf("depth-2 node intervals = %v", got)
+	}
+	// the 7-child path holds (4,9) at depth 4.
+	n4 := n2.childAt(7).star
+	if n4 == nil {
+		t.Fatal("missing <*,*,7,*> node")
+	}
+	if got := n4.intervals(); !reflect.DeepEqual(got, [][2]int64{{4, 9}}) {
+		t.Fatalf("depth-4 node intervals = %v", got)
+	}
+	// Further constraints from the figure.
+	c.InsConstraint(Constraint{EqPos: []int{1}, EqVal: []int64{1}, Col: 2, Lo: 1, Hi: 3})
+	c.InsConstraint(Constraint{EqPos: []int{1}, EqVal: []int64{1}, Col: 2, Lo: 9, Hi: 10})
+	c.InsConstraint(Constraint{EqPos: []int{1, 2}, EqVal: []int64{1, 2}, Col: 3, Lo: 10, Hi: 19})
+	c.InsConstraint(Constraint{EqPos: []int{1, 2, 3}, EqVal: []int64{1, 3, 5}, Col: 4, Lo: 3, Hi: 9})
+	c.InsConstraint(Constraint{EqPos: []int{1, 2, 3}, EqVal: []int64{1, 3, 5}, Col: 4, Lo: 1, Hi: 3})
+	c.InsConstraint(Constraint{EqPos: []int{1, 2, 3}, EqVal: []int64{1, 3, 5}, Col: 4, Lo: 10, Hi: 14})
+	c.InsConstraint(Constraint{EqPos: []int{1, 2}, EqVal: []int64{1, 3}, Col: 4, Lo: 5, Hi: 10})
+	v := c.root.star.childAt(1).childAt(3).childAt(5)
+	if v == nil {
+		t.Fatal("missing <*,1,3,5> node")
+	}
+	want := [][2]int64{{1, 3}, {3, 9}, {10, 14}}
+	if got := v.intervals(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("<*,1,3,5> intervals = %v, want %v", got, want)
+	}
+	w := c.root.star.childAt(1).childAt(3).star
+	if w == nil || !reflect.DeepEqual(w.intervals(), [][2]int64{{5, 10}}) {
+		t.Fatalf("<*,1,3,*> node wrong: %+v", w)
+	}
+}
+
+func TestConstraintSubsumption(t *testing.T) {
+	c := NewCDS(3, false)
+	c.InsConstraint(Constraint{Col: 0, Lo: 2, Hi: 9})
+	// A constraint whose pattern value 5 is covered at the root is subsumed.
+	c.InsConstraint(Constraint{EqPos: []int{0}, EqVal: []int64{5}, Col: 1, Lo: 0, Hi: 100})
+	if c.root.childAt(5) != nil {
+		t.Error("subsumed constraint should not create a branch")
+	}
+}
+
+// TestComputeFreeTupleSimple: one attribute, gaps carve the domain.
+func TestComputeFreeTupleSimple(t *testing.T) {
+	c := NewCDS(1, false)
+	c.InsConstraint(Constraint{Col: 0, Lo: negInf, Hi: 3})
+	if !c.ComputeFreeTuple() {
+		t.Fatal("expected a free tuple")
+	}
+	if c.Frontier()[0] != 3 {
+		t.Fatalf("free tuple = %v, want [3]", c.Frontier())
+	}
+	c.AdvanceOutput()
+	c.InsConstraint(Constraint{Col: 0, Lo: 3, Hi: posInf})
+	if c.ComputeFreeTuple() {
+		t.Fatalf("space should be exhausted, got %v", c.Frontier())
+	}
+	if c.ComputeFreeTuple() {
+		t.Fatal("done flag should persist")
+	}
+}
+
+// TestComputeFreeTupleDescends: two attributes with a branch-specific gap.
+func TestComputeFreeTupleDescends(t *testing.T) {
+	c := NewCDS(2, false)
+	// Attribute 0: everything outside {2} is a gap.
+	c.InsConstraint(Constraint{Col: 0, Lo: negInf, Hi: 2})
+	c.InsConstraint(Constraint{Col: 0, Lo: 2, Hi: posInf})
+	// Under 2, attribute 1 has gaps below 7 and above 7.
+	c.InsConstraint(Constraint{EqPos: []int{0}, EqVal: []int64{2}, Col: 1, Lo: negInf, Hi: 7})
+	if !c.ComputeFreeTuple() {
+		t.Fatal("expected a free tuple")
+	}
+	if !reflect.DeepEqual(c.Frontier(), []int64{2, 7}) {
+		t.Fatalf("free tuple = %v, want [2 7]", c.Frontier())
+	}
+	// Report the output and move past it (Idea 2: no unit gap box needed).
+	c.AdvanceOutput()
+	c.InsConstraint(Constraint{EqPos: []int{0}, EqVal: []int64{2}, Col: 1, Lo: 7, Hi: posInf})
+	if c.ComputeFreeTuple() {
+		t.Fatalf("space should be exhausted, got %v", c.Frontier())
+	}
+}
+
+// TestTruncation: when a branch's subspace is fully covered, the branch
+// value itself must be ruled out at the parent (Algorithm 6).
+func TestTruncation(t *testing.T) {
+	c := NewCDS(2, false)
+	// Kill all of attribute 1 under value 4 of attribute 0.
+	c.InsConstraint(Constraint{EqPos: []int{0}, EqVal: []int64{4}, Col: 1, Lo: negInf, Hi: posInf})
+	// Attribute 0 must skip 4: gaps force candidates {4,9}.
+	c.InsConstraint(Constraint{Col: 0, Lo: negInf, Hi: 4})
+	c.InsConstraint(Constraint{Col: 0, Lo: 4, Hi: 9})
+	c.InsConstraint(Constraint{Col: 0, Lo: 9, Hi: posInf})
+	if !c.ComputeFreeTuple() {
+		t.Fatal("expected a free tuple")
+	}
+	if c.Frontier()[0] != 9 {
+		t.Fatalf("free tuple = %v, want first coordinate 9 (4 truncated)", c.Frontier())
+	}
+	// The truncation must have inserted (3,5) at the root.
+	if !c.root.covered(4) {
+		t.Error("value 4 should be covered at the root after truncation")
+	}
+}
+
+func TestFrontierMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewCDS(3, false)
+	prev := []int64{negInf, negInf, negInf}
+	for i := 0; i < 200 && c.ComputeFreeTuple(); i++ {
+		cur := append([]int64(nil), c.Frontier()...)
+		if cmp := compare3(prev, cur); cmp > 0 {
+			t.Fatalf("frontier went backwards: %v after %v", cur, prev)
+		}
+		prev = cur
+		// Rule the current tuple out with a random-width gap on a random
+		// suffix position.
+		p := rng.Intn(3)
+		c.InsConstraint(Constraint{
+			EqPos: []int{0, 1}[:p],
+			EqVal: cur[:p],
+			Col:   p,
+			Lo:    cur[p] - 1,
+			Hi:    cur[p] + 1 + int64(rng.Intn(3)),
+		})
+	}
+}
+
+func compare3(a, b []int64) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,214 @@
+package minesweeper
+
+import (
+	"encoding/binary"
+
+	"repro/internal/query"
+)
+
+// counterTrace, when non-nil, observes counter events (tests only).
+var counterTrace func(ev string, args ...interface{})
+
+// counter implements count-mode subtree reuse, our sound realization of
+// #Minesweeper's Idea 8 (micro message passing); see DESIGN.md §4. The
+// verified-output count of the subtree rooted at a binding (t_0..t_d)
+// depends only on d and the values of t at
+//
+//	ctx(d) = {d} ∪ ⋃ { vars(R) ∩ GAO[0..d] : R has a variable after d }
+//
+// provided the atoms fully contained in GAO[0..d] are satisfied. The counter
+// tracks per-depth accumulators while the frontier sweeps the output space
+// in DFS (lexicographic) order, memoizes each exhausted subtree's count
+// under its ctx key, and on a memo hit skips the whole subtree by advancing
+// the frontier — the same computation reuse that makes the paper's
+// low-selectivity path queries fast (Figures 3–5).
+type counter struct {
+	ex *exec
+	n  int
+	// ctxPos[d] are the sorted positions determining subtree counts at
+	// depth d; contained[d] are the atoms fully inside GAO[0..d] that must
+	// be re-verified before a memoized count transfers to a new prefix.
+	ctxPos    [][]int
+	contained [][]int
+	memo      map[string]int64
+	acc       []int64
+	open      []bool
+	prev      []int64
+	prevOK    bool
+	key       []byte
+}
+
+func newCounter(ex *exec, q *query.Query, gao []string) *counter {
+	n := len(gao)
+	c := &counter{
+		ex:        ex,
+		n:         n,
+		ctxPos:    make([][]int, n),
+		contained: make([][]int, n),
+		memo:      make(map[string]int64),
+		acc:       make([]int64, n),
+		open:      make([]bool, n),
+		prev:      make([]int64, n),
+	}
+	pos := make(map[string]int, n)
+	for i, v := range gao {
+		pos[v] = i
+	}
+	// Atom variable positions and max position.
+	atomPos := make([][]int, len(q.Atoms))
+	atomMax := make([]int, len(q.Atoms))
+	for i, a := range q.Atoms {
+		for _, v := range a.Vars {
+			atomPos[i] = append(atomPos[i], pos[v])
+			if pos[v] > atomMax[i] {
+				atomMax[i] = pos[v]
+			}
+		}
+	}
+	for d := 0; d < n; d++ {
+		in := make([]bool, d+1)
+		in[d] = true
+		for i := range q.Atoms {
+			if atomMax[i] > d {
+				for _, p := range atomPos[i] {
+					if p <= d {
+						in[p] = true
+					}
+				}
+			} else {
+				c.contained[d] = append(c.contained[d], i)
+			}
+		}
+		for p := 0; p <= d; p++ {
+			if in[p] {
+				c.ctxPos[d] = append(c.ctxPos[d], p)
+			}
+		}
+	}
+	return c
+}
+
+func (c *counter) keyFor(d int, t []int64) string {
+	b := c.key[:0]
+	b = append(b, byte(d))
+	for _, p := range c.ctxPos[d] {
+		b = binary.LittleEndian.AppendUint64(b, uint64(t[p]))
+	}
+	c.key = b
+	return string(b)
+}
+
+// containedSatisfied reports whether every atom fully contained in
+// GAO[0..d] holds on tuple t (probes are memoized by the engine).
+func (c *counter) containedSatisfied(d int, t []int64) bool {
+	for _, i := range c.contained[d] {
+		if _, found := c.ex.probeAtom(i, t); !found {
+			return false
+		}
+	}
+	return true
+}
+
+// visit is called for every free tuple before probing. It closes subtrees
+// the frontier has moved past, then attempts a memo hit at the shallowest
+// newly opened depth. On a hit it adds the memoized count, advances the
+// frontier past the subtree, and reports reused == true.
+func (c *counter) visit(t []int64) (reused bool, err error) {
+	first := 0
+	if c.prevOK {
+		for first < c.n && c.prev[first] == t[first] {
+			first++
+		}
+		c.flush(first)
+	}
+	if counterTrace != nil {
+		counterTrace("visit", first, append([]int64(nil), t...), append([]bool(nil), c.open...), append([]int64(nil), c.acc...))
+	}
+	copy(c.prev, t)
+	c.prevOK = true
+	// Try to reuse a memoized subtree at the shallowest reusable depth.
+	for d := first; d <= c.n-2; d++ {
+		val, ok := c.memo[c.keyFor(d, t)]
+		if !ok {
+			continue
+		}
+		if !c.containedSatisfied(d, t) {
+			// Some prefix-contained atom fails here; the normal probe loop
+			// will discover the gap and advance. Deeper memo hits would need
+			// the same (growing) verification, so stop trying — but the
+			// newly opened depths must still be marked open below, or their
+			// accumulated counts would be dropped at the next flush.
+			break
+		}
+		if counterTrace != nil {
+			counterTrace("reuse", d, append([]int64(nil), t...), val)
+		}
+		// Close the subtree immediately with the reused count; the shallower
+		// depths opened by this tuple stay open.
+		c.ex.stats.ReuseHits++
+		c.ex.total += val
+		c.acc[d] += val
+		if d > 0 {
+			c.acc[d-1] += c.acc[d]
+		}
+		c.acc[d] = 0
+		for i := first; i < d; i++ {
+			c.open[i] = true
+		}
+		for i := d; i < c.n; i++ {
+			c.open[i] = false
+		}
+		adv := make([]int64, c.n)
+		copy(adv, t)
+		adv[d]++
+		for i := d + 1; i < c.n; i++ {
+			adv[i] = -1
+		}
+		c.ex.cds.SetFrontier(adv)
+		return true, nil
+	}
+	for d := first; d < c.n; d++ {
+		c.open[d] = true
+	}
+	return false, nil
+}
+
+// onOutput credits the reported output to the deepest open subtree.
+func (c *counter) onOutput() {
+	if counterTrace != nil {
+		counterTrace("output", append([]int64(nil), c.prev...))
+	}
+	c.acc[c.n-1]++
+}
+
+// flush closes every open subtree at depth >= first against the previous
+// tuple: the count rolls up into the parent accumulator and, when the
+// prefix-contained atoms were satisfied, is memoized under the subtree's
+// ctx key.
+func (c *counter) flush(first int) {
+	for d := c.n - 1; d >= first; d-- {
+		if !c.open[d] {
+			continue
+		}
+		c.open[d] = false
+		if d <= c.n-2 && c.containedSatisfied(d, c.prev) {
+			if counterTrace != nil {
+				counterTrace("store", d, append([]int64(nil), c.prev...), c.acc[d])
+			}
+			c.ex.stats.MemoStores++
+			c.memo[c.keyFor(d, c.prev)] = c.acc[d]
+		}
+		if d > 0 {
+			c.acc[d-1] += c.acc[d]
+		}
+		c.acc[d] = 0
+	}
+}
+
+// finish closes any remaining open subtrees (counts are already in
+// ex.total; this only settles the accumulators).
+func (c *counter) finish() {
+	if c.prevOK {
+		c.flush(0)
+	}
+}

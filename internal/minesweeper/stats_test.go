@@ -1,0 +1,77 @@
+package minesweeper
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/testutil"
+)
+
+func TestStatsCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	db := testutil.RandomGraphDB(rng, 20, 80, 2)
+	q := query.Path(3)
+
+	var with Stats
+	n1, err := Engine{Opts: Options{Stats: &with}}.Count(context.Background(), q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Outputs != n1 {
+		t.Errorf("Outputs = %d, want %d", with.Outputs, n1)
+	}
+	if with.Probes == 0 || with.Constraints == 0 || with.FreeTupleSteps == 0 {
+		t.Errorf("zero activity counters: %+v", with)
+	}
+	if with.ProbeMemoHits == 0 {
+		t.Errorf("Idea 4 memo never hit on a path query: %+v", with)
+	}
+	if with.MemoStores == 0 {
+		t.Errorf("count-mode reuse never stored: %+v", with)
+	}
+
+	// Disabling Idea 4 must eliminate memo hits and issue at least as many
+	// probes.
+	var noMemo Stats
+	n2, err := Engine{Opts: Options{DisableMemo: true, Stats: &noMemo}}.Count(context.Background(), q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("counts differ: %d vs %d", n1, n2)
+	}
+	if noMemo.ProbeMemoHits != 0 {
+		t.Errorf("DisableMemo but ProbeMemoHits = %d", noMemo.ProbeMemoHits)
+	}
+	if noMemo.Probes < with.Probes {
+		t.Errorf("without the memo the engine should probe at least as much: %d < %d", noMemo.Probes, with.Probes)
+	}
+
+	// Disabling count reuse must eliminate reuse hits.
+	var noReuse Stats
+	if _, err := (Engine{Opts: Options{DisableCountMemo: true, Stats: &noReuse}}).Count(context.Background(), q, db); err != nil {
+		t.Fatal(err)
+	}
+	if noReuse.ReuseHits != 0 || noReuse.MemoStores != 0 {
+		t.Errorf("DisableCountMemo but reuse counters = %+v", noReuse)
+	}
+}
+
+func TestStatsAccumulateAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	db := testutil.RandomGraphDB(rng, 10, 30, 2)
+	var s Stats
+	e := Engine{Opts: Options{Stats: &s}}
+	if _, err := e.Count(context.Background(), query.Clique(3), db); err != nil {
+		t.Fatal(err)
+	}
+	first := s
+	if _, err := e.Count(context.Background(), query.Clique(3), db); err != nil {
+		t.Fatal(err)
+	}
+	if s.Probes <= first.Probes || s.FreeTupleSteps <= first.FreeTupleSteps {
+		t.Errorf("stats should accumulate: first=%+v total=%+v", first, s)
+	}
+}

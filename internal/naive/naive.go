@@ -1,0 +1,115 @@
+// Package naive implements a straightforward backtracking join used only as
+// a differential-testing oracle: it binds variables in first-appearance
+// order, scanning each candidate atom with simple prefix lookups. It is
+// deliberately unoptimized and obviously correct.
+package naive
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Engine is the oracle engine.
+type Engine struct{}
+
+// Name implements core.Engine.
+func (Engine) Name() string { return "naive" }
+
+// Count implements core.Engine.
+func (e Engine) Count(ctx context.Context, q *query.Query, db *core.DB) (int64, error) {
+	var n int64
+	err := e.Enumerate(ctx, q, db, func([]int64) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// Enumerate implements core.Engine.
+func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit func([]int64) bool) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	rels := make([]*relation.Relation, len(q.Atoms))
+	for i, a := range q.Atoms {
+		r, err := db.Relation(a.Rel)
+		if err != nil {
+			return err
+		}
+		if r.Arity() != len(a.Vars) {
+			return errArity(a, r)
+		}
+		rels[i] = r
+	}
+	vars := q.Vars()
+	idx := q.VarIndex()
+	binding := make([]int64, len(vars))
+	bound := make([]bool, len(vars))
+	tick := core.NewTicker(ctx)
+
+	var rec func(v int) (bool, error)
+	rec = func(v int) (bool, error) {
+		if err := tick.Tick(); err != nil {
+			return false, err
+		}
+		if v == len(vars) {
+			// Verify every atom (cheap given full bindings).
+			point := make([]int64, 0, 4)
+			for i, a := range q.Atoms {
+				point = point[:0]
+				for _, av := range a.Vars {
+					point = append(point, binding[idx[av]])
+				}
+				if !rels[i].Contains(point) {
+					return true, nil
+				}
+			}
+			return emit(append([]int64(nil), binding...)), nil
+		}
+		// Candidate values: distinct values of this variable from the first
+		// atom containing it, filtered by recursion.
+		ai := q.AtomsWith(vars[v])[0]
+		col := -1
+		for c, av := range q.Atoms[ai].Vars {
+			if av == vars[v] {
+				col = c
+				break
+			}
+		}
+		seen := make(map[int64]bool)
+		r := rels[ai]
+		for row := 0; row < r.Len(); row++ {
+			val := r.Value(row, col)
+			if seen[val] {
+				continue
+			}
+			seen[val] = true
+			binding[v] = val
+			bound[v] = true
+			cont, err := rec(v + 1)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		bound[v] = false
+		return true, nil
+	}
+	_, err := rec(0)
+	return err
+}
+
+type arityError struct {
+	atom query.Atom
+	rel  *relation.Relation
+}
+
+func errArity(a query.Atom, r *relation.Relation) error {
+	return &arityError{atom: a, rel: r}
+}
+
+func (e *arityError) Error() string {
+	return "naive: atom " + e.atom.String() + " arity mismatch with relation " + e.rel.String()
+}

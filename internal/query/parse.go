@@ -1,0 +1,135 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a query in the Datalog-style body syntax the paper uses in
+// §5.1, e.g.
+//
+//	v1(a), v2(d), edge(a, b), edge(b, c), edge(c, d)
+//
+// Relation and variable names are identifiers ([A-Za-z_][A-Za-z0-9_]*).
+// Whitespace is insignificant. A trailing period is permitted.
+func Parse(name, src string) (*Query, error) {
+	p := &parser{src: src}
+	var atoms []Atom
+	p.skipSpace()
+	for !p.done() {
+		atom, err := p.atom()
+		if err != nil {
+			return nil, fmt.Errorf("query %q: %w", name, err)
+		}
+		atoms = append(atoms, atom)
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			p.skipSpace()
+			continue
+		}
+		if p.peek() == '.' {
+			p.pos++
+			p.skipSpace()
+		}
+		break
+	}
+	p.skipSpace()
+	if !p.done() {
+		return nil, fmt.Errorf("query %q: trailing input at offset %d: %q", name, p.pos, p.src[p.pos:])
+	}
+	q := New(name, atoms...)
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for statically known queries.
+func MustParse(name, src string) *Query {
+	q, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.done() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.done() && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) ident() (string, error) {
+	start := p.pos
+	for !p.done() {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || c == '_' || (p.pos > start && unicode.IsDigit(c)) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected identifier at offset %d", start)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) atom() (Atom, error) {
+	rel, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	p.skipSpace()
+	if p.peek() != '(' {
+		return Atom{}, fmt.Errorf("atom %s: expected '(' at offset %d", rel, p.pos)
+	}
+	p.pos++
+	var vars []string
+	for {
+		p.skipSpace()
+		v, err := p.ident()
+		if err != nil {
+			return Atom{}, fmt.Errorf("atom %s: %w", rel, err)
+		}
+		vars = append(vars, v)
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return Atom{Rel: rel, Vars: vars}, nil
+		default:
+			return Atom{}, fmt.Errorf("atom %s: expected ',' or ')' at offset %d", rel, p.pos)
+		}
+	}
+}
+
+// Format renders the query back to the paper's Datalog-style syntax.
+func Format(q *Query) string {
+	var b strings.Builder
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
+}

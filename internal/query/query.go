@@ -1,0 +1,106 @@
+// Package query defines the join-query representation used throughout the
+// reproduction: a natural join query is a set of atoms over named variables
+// (paper §2.1), optionally parsed from the Datalog-style syntax the paper
+// uses in §5.1.
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Atom is one relational atom R(x1, ..., xk). Vars are variable names; a
+// variable may repeat within an atom (self-join on a column).
+type Atom struct {
+	Rel  string
+	Vars []string
+}
+
+func (a Atom) String() string {
+	return a.Rel + "(" + strings.Join(a.Vars, ", ") + ")"
+}
+
+// Query is a natural join query: the join of all its atoms.
+type Query struct {
+	Name  string
+	Atoms []Atom
+
+	vars []string // cached variable order (first appearance)
+}
+
+// New returns a query over the given atoms. Variables are ordered by first
+// appearance.
+func New(name string, atoms ...Atom) *Query {
+	q := &Query{Name: name, Atoms: atoms}
+	seen := make(map[string]bool)
+	for _, a := range atoms {
+		for _, v := range a.Vars {
+			if !seen[v] {
+				seen[v] = true
+				q.vars = append(q.vars, v)
+			}
+		}
+	}
+	return q
+}
+
+// Vars returns the query's variables in first-appearance order. The returned
+// slice must not be modified.
+func (q *Query) Vars() []string { return q.vars }
+
+// NumVars returns n = |vars(Q)|.
+func (q *Query) NumVars() int { return len(q.vars) }
+
+func (q *Query) String() string {
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// VarIndex returns a map from variable name to its index in Vars().
+func (q *Query) VarIndex() map[string]int {
+	idx := make(map[string]int, len(q.vars))
+	for i, v := range q.vars {
+		idx[v] = i
+	}
+	return idx
+}
+
+// AtomsWith returns the indices of atoms containing variable v.
+func (q *Query) AtomsWith(v string) []int {
+	var out []int
+	for i, a := range q.Atoms {
+		for _, w := range a.Vars {
+			if w == v {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: at least one atom, non-empty
+// atoms, and every variable bound by some atom (trivially true here, but
+// repeated-variable atoms are rejected because the storage layer indexes
+// distinct columns; callers rewrite duplicates away first).
+func (q *Query) Validate() error {
+	if len(q.Atoms) == 0 {
+		return fmt.Errorf("query %q: no atoms", q.Name)
+	}
+	for _, a := range q.Atoms {
+		if len(a.Vars) == 0 {
+			return fmt.Errorf("query %q: atom %s has no variables", q.Name, a.Rel)
+		}
+		seen := make(map[string]bool, len(a.Vars))
+		for _, v := range a.Vars {
+			if seen[v] {
+				return fmt.Errorf("query %q: atom %s repeats variable %s", q.Name, a.Rel, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package recursive implements the recursive-query extension the paper's
+// conclusion names as future work for the benchmark (§6: "extend this
+// benchmark to recursive queries"): semi-naive Datalog evaluation of
+// transitive closure and reachability over the same relational substrate
+// the join engines use.
+//
+//	tc(x, y) :- edge(x, y).
+//	tc(x, y) :- tc(x, z), edge(z, y).
+//
+// Each semi-naive round joins the newly derived delta with the edge
+// relation — the incremental-evaluation discipline LogicBlox applies to
+// recursion — using hash adjacency for the delta expansion.
+package recursive
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// TransitiveClosure computes tc(edge) and returns it as a relation. Rounds
+// are semi-naive: only facts derived in round i can derive new facts in
+// round i+1.
+func TransitiveClosure(ctx context.Context, db *core.DB) (*relation.Relation, error) {
+	edge, err := db.Relation(query.Edge)
+	if err != nil {
+		return nil, err
+	}
+	if edge.Arity() != 2 {
+		return nil, fmt.Errorf("recursive: %s must be binary", query.Edge)
+	}
+	adj := make(map[int64][]int64)
+	for i := 0; i < edge.Len(); i++ {
+		adj[edge.Value(i, 0)] = append(adj[edge.Value(i, 0)], edge.Value(i, 1))
+	}
+	type pair struct{ x, y int64 }
+	known := make(map[pair]bool, edge.Len())
+	var delta []pair
+	for i := 0; i < edge.Len(); i++ {
+		p := pair{edge.Value(i, 0), edge.Value(i, 1)}
+		if !known[p] {
+			known[p] = true
+			delta = append(delta, p)
+		}
+	}
+	tick := core.NewTicker(ctx)
+	for len(delta) > 0 {
+		var next []pair
+		for _, p := range delta {
+			if err := tick.Tick(); err != nil {
+				return nil, err
+			}
+			for _, y := range adj[p.y] {
+				np := pair{p.x, y}
+				if !known[np] {
+					known[np] = true
+					next = append(next, np)
+				}
+			}
+		}
+		delta = next
+	}
+	b := relation.NewBuilder("tc", 2)
+	for p := range known {
+		b.Add(p.x, p.y)
+	}
+	return b.Build(), nil
+}
+
+// Reachable counts the vertices reachable from src through directed edge
+// tuples (src itself excluded unless on a cycle).
+func Reachable(ctx context.Context, db *core.DB, src int64) (int64, error) {
+	tc, err := TransitiveClosure(ctx, db)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := tc.PrefixRange([]int64{src})
+	return int64(hi - lo), nil
+}
+
+// RegisterTC materializes the closure into the database under the name
+// "tc", making it queryable by every join engine — e.g. counting
+// length-bounded reachability patterns:
+//
+//	v1(a), tc(a, b), v2(b)
+func RegisterTC(ctx context.Context, db *core.DB) error {
+	tc, err := TransitiveClosure(ctx, db)
+	if err != nil {
+		return err
+	}
+	db.Add(tc)
+	return nil
+}

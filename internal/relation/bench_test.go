@@ -1,0 +1,90 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchRelation(b *testing.B, n int) *Relation {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	bl := NewBuilder("R", 2)
+	for i := 0; i < n; i++ {
+		bl.Add(int64(rng.Intn(n/4+1)), int64(rng.Intn(n/4+1)))
+	}
+	return bl.Build()
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]int64, 200_000)
+	for i := range rows {
+		rows[i] = int64(rng.Intn(30_000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl := NewBuilder("R", 2)
+		for j := 0; j < len(rows); j += 2 {
+			bl.Add(rows[j], rows[j+1])
+		}
+		bl.Build()
+	}
+}
+
+func BenchmarkTrieIteratorFullScan(b *testing.B) {
+	r := benchRelation(b, 100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := NewTrieIterator(r)
+		it.Open()
+		for !it.AtEnd() {
+			it.Open()
+			for !it.AtEnd() {
+				it.Next()
+			}
+			it.Up()
+			it.Next()
+		}
+		it.Up()
+	}
+}
+
+func BenchmarkTrieIteratorSeek(b *testing.B) {
+	r := benchRelation(b, 100_000)
+	rng := rand.New(rand.NewSource(2))
+	targets := make([]int64, 1024)
+	for i := range targets {
+		targets[i] = int64(rng.Intn(30_000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := NewTrieIterator(r)
+		it.Open()
+		for _, t := range targets {
+			it.SeekGE(t % (t + 1)) // forward-only seeks
+			if it.AtEnd() {
+				break
+			}
+		}
+		it.Up()
+	}
+}
+
+func BenchmarkProbeGap(b *testing.B) {
+	r := benchRelation(b, 100_000)
+	rng := rand.New(rand.NewSource(3))
+	points := make([][]int64, 1024)
+	for i := range points {
+		points[i] = []int64{int64(rng.Intn(30_000)), int64(rng.Intn(30_000))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range points {
+			r.ProbeGap(p)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package relation
+
+// Gap describes the maximal empty box a relation reports around a probe
+// point (paper §4.5, Idea 3). Col is the first column at which the probe
+// point leaves the relation's index: the point's prefix before Col is
+// present, but extending it with point[Col] is not. Lo and Hi are the
+// greatest present value < point[Col] and the least present value >
+// point[Col] under that prefix (NegInf/PosInf when none), so the open
+// interval (Lo, Hi) on column Col — under the equality prefix — contains no
+// tuple of the relation.
+type Gap struct {
+	Col    int
+	Lo, Hi int64
+}
+
+// ProbeGap implements seekGap from Algorithm 3. It probes the relation's
+// index with the projected free tuple `point` (len == arity). If the tuple
+// is present it returns found == true and a zero Gap; otherwise it returns
+// the maximal gap box around the point as defined in §4.5:
+//
+//	j   = min { j : prefix(j-1) present ∧ prefix(j) absent }
+//	Lo  = max { x < point[j] : (prefix, x) present } ∪ {NegInf}
+//	Hi  = min { x > point[j] : (prefix, x) present } ∪ {PosInf}
+//
+// Cost is O(arity · log n) via binary searches, standing in for the B-tree
+// seek_glb/seek_lub operators of the LogicBlox trie index (Idea 4 discusses
+// their cost; memoization lives in the Minesweeper engine).
+func (r *Relation) ProbeGap(point []int64) (gap Gap, found bool) {
+	if len(point) != r.arity {
+		panic("relation: ProbeGap point length mismatch")
+	}
+	lo, hi := 0, r.n
+	for col := 0; col < r.arity; col++ {
+		v := point[col]
+		pos := r.lowerBound(col, lo, hi, v)
+		if pos < hi && r.Value(pos, col) == v {
+			lo = pos
+			hi = r.upperBound(col, pos, hi, v)
+			continue
+		}
+		g := Gap{Col: col, Lo: NegInf, Hi: PosInf}
+		if pos > lo {
+			g.Lo = r.Value(pos-1, col)
+		}
+		if pos < hi {
+			g.Hi = r.Value(pos, col)
+		}
+		return g, false
+	}
+	return Gap{}, true
+}

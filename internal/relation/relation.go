@@ -1,0 +1,274 @@
+// Package relation implements the storage substrate of the reproduction:
+// immutable, lexicographically sorted relations over int64 attribute values,
+// with the two access paths the paper's algorithms require — a trie-style
+// iterator (open/up/next/seek) for Leapfrog Triejoin and least-upper-bound /
+// greatest-lower-bound gap probes for Minesweeper (paper §4.1, Figure 1).
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sentinel values standing in for -inf and +inf on the attribute domain.
+// Ordinary attribute values must lie strictly between them.
+const (
+	NegInf int64 = -1 << 62
+	PosInf int64 = 1 << 62
+)
+
+// Relation is an immutable, duplicate-free relation whose tuples are stored
+// row-major in a single flat slice, sorted lexicographically. This mirrors
+// the leaf level of the B-tree/trie indices the paper assumes (§4.1): every
+// prefix of the attribute list is searchable by binary search.
+type Relation struct {
+	name  string
+	arity int
+	rows  []int64 // len(rows) == n*arity
+	n     int
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return r.n }
+
+// Tuple returns a read-only view of row i. The returned slice aliases
+// internal storage and must not be modified.
+func (r *Relation) Tuple(i int) []int64 {
+	return r.rows[i*r.arity : (i+1)*r.arity]
+}
+
+// Value returns column col of row i.
+func (r *Relation) Value(i, col int) int64 { return r.rows[i*r.arity+col] }
+
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s/%d[%d tuples]", r.name, r.arity, r.n)
+}
+
+// Builder accumulates tuples for a Relation. Tuples may be added in any
+// order; Build sorts and deduplicates.
+type Builder struct {
+	name  string
+	arity int
+	rows  []int64
+}
+
+// NewBuilder returns a Builder for a relation with the given name and arity.
+// Arity must be at least 1.
+func NewBuilder(name string, arity int) *Builder {
+	if arity < 1 {
+		panic("relation: arity must be >= 1")
+	}
+	return &Builder{name: name, arity: arity}
+}
+
+// Add appends one tuple. It panics if the tuple length does not match the
+// arity or a value is outside [0, PosInf). Attribute values are natural
+// numbers, matching the paper's N-valued domains; Minesweeper's truncation
+// logic (Algorithm 6) relies on -1 sorting below every stored value.
+func (b *Builder) Add(tuple ...int64) {
+	if len(tuple) != b.arity {
+		panic(fmt.Sprintf("relation %s: Add got %d values, want %d", b.name, len(tuple), b.arity))
+	}
+	for _, v := range tuple {
+		if v < 0 || v >= PosInf {
+			panic(fmt.Sprintf("relation %s: value %d outside the domain [0, PosInf)", b.name, v))
+		}
+	}
+	b.rows = append(b.rows, tuple...)
+}
+
+// Build sorts, deduplicates, and returns the immutable Relation. The Builder
+// must not be reused afterwards.
+func (b *Builder) Build() *Relation {
+	r := &Relation{name: b.name, arity: b.arity, rows: b.rows}
+	r.n = len(b.rows) / b.arity
+	sortRows(r.rows, r.arity)
+	r.dedup()
+	b.rows = nil
+	return r
+}
+
+// FromTuples builds a relation directly from a tuple slice.
+func FromTuples(name string, arity int, tuples [][]int64) *Relation {
+	b := NewBuilder(name, arity)
+	for _, t := range tuples {
+		b.Add(t...)
+	}
+	return b.Build()
+}
+
+// rowSorter sorts a flat row-major slice lexicographically without
+// allocating per-row slices.
+type rowSorter struct {
+	rows  []int64
+	arity int
+	tmp   []int64
+}
+
+func (s *rowSorter) Len() int { return len(s.rows) / s.arity }
+
+func (s *rowSorter) Less(i, j int) bool {
+	a, b := s.rows[i*s.arity:(i+1)*s.arity], s.rows[j*s.arity:(j+1)*s.arity]
+	for k := 0; k < s.arity; k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+func (s *rowSorter) Swap(i, j int) {
+	a, b := s.rows[i*s.arity:(i+1)*s.arity], s.rows[j*s.arity:(j+1)*s.arity]
+	copy(s.tmp, a)
+	copy(a, b)
+	copy(b, s.tmp)
+}
+
+func sortRows(rows []int64, arity int) {
+	sort.Sort(&rowSorter{rows: rows, arity: arity, tmp: make([]int64, arity)})
+}
+
+func (r *Relation) dedup() {
+	if r.n == 0 {
+		return
+	}
+	w := 1
+	for i := 1; i < r.n; i++ {
+		if !equalRows(r.rows, w-1, i, r.arity) {
+			if w != i {
+				copy(r.rows[w*r.arity:(w+1)*r.arity], r.rows[i*r.arity:(i+1)*r.arity])
+			}
+			w++
+		}
+	}
+	r.rows = r.rows[:w*r.arity]
+	r.n = w
+}
+
+func equalRows(rows []int64, i, j, arity int) bool {
+	a, b := rows[i*arity:(i+1)*arity], rows[j*arity:(j+1)*arity]
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Permute returns a new relation whose columns are reordered so that output
+// column k holds input column perm[k], re-sorted lexicographically. It is
+// how the engine realizes the GAO-consistency assumption (§4.1): each atom
+// gets an index whose attribute order follows the global attribute order.
+func (r *Relation) Permute(perm []int) *Relation {
+	if len(perm) != r.arity {
+		panic("relation: Permute length mismatch")
+	}
+	identity := true
+	for k, p := range perm {
+		if p != k {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return r
+	}
+	rows := make([]int64, len(r.rows))
+	for i := 0; i < r.n; i++ {
+		src := r.rows[i*r.arity : (i+1)*r.arity]
+		dst := rows[i*r.arity : (i+1)*r.arity]
+		for k, p := range perm {
+			dst[k] = src[p]
+		}
+	}
+	out := &Relation{name: r.name, arity: r.arity, rows: rows, n: r.n}
+	sortRows(out.rows, out.arity)
+	return out
+}
+
+// lowerBound returns the first row index in [lo, hi) whose value at column
+// col is >= v. Rows in [lo, hi) must share a common prefix on columns < col
+// so that column col is sorted within the range.
+func (r *Relation) lowerBound(col, lo, hi int, v int64) int {
+	return lo + sort.Search(hi-lo, func(i int) bool {
+		return r.rows[(lo+i)*r.arity+col] >= v
+	})
+}
+
+// upperBound is lowerBound with a strict comparison (> v).
+func (r *Relation) upperBound(col, lo, hi int, v int64) int {
+	return lo + sort.Search(hi-lo, func(i int) bool {
+		return r.rows[(lo+i)*r.arity+col] > v
+	})
+}
+
+// PrefixRange returns the half-open row range [lo, hi) of tuples whose first
+// len(prefix) columns equal prefix. An empty range is returned when no tuple
+// matches.
+func (r *Relation) PrefixRange(prefix []int64) (lo, hi int) {
+	lo, hi = 0, r.n
+	for col, v := range prefix {
+		lo = r.lowerBound(col, lo, hi, v)
+		hi = r.upperBound(col, lo, hi, v)
+		if lo == hi {
+			return lo, hi
+		}
+	}
+	return lo, hi
+}
+
+// Contains reports whether the full tuple is present.
+func (r *Relation) Contains(tuple []int64) bool {
+	if len(tuple) != r.arity {
+		return false
+	}
+	lo, hi := r.PrefixRange(tuple)
+	return lo < hi
+}
+
+// DistinctPrefixes returns the number of distinct prefixes of the given
+// length (used by planners for statistics).
+func (r *Relation) DistinctPrefixes(length int) int {
+	if length <= 0 {
+		return 1
+	}
+	count := 0
+	for lo, hi := 0, 0; lo < r.n; lo = hi {
+		hi = lo + 1
+		for hi < r.n && prefixEqual(r, lo, hi, length) {
+			hi++
+		}
+		count++
+	}
+	return count
+}
+
+func prefixEqual(r *Relation, i, j, length int) bool {
+	a := r.rows[i*r.arity : i*r.arity+length]
+	b := r.rows[j*r.arity : j*r.arity+length]
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareTuples compares two equal-length tuples lexicographically.
+func CompareTuples(a, b []int64) int {
+	for k := range a {
+		switch {
+		case a[k] < b[k]:
+			return -1
+		case a[k] > b[k]:
+			return 1
+		}
+	}
+	return 0
+}
