@@ -22,6 +22,17 @@ const (
 	HolmeKim       = dataset.HolmeKim
 )
 
+// Typed failure kinds surfaced by Prepare and the one-shot helpers; branch
+// with errors.Is.
+var (
+	// ErrUnknownRelation reports a query atom naming a relation the graph's
+	// database does not hold.
+	ErrUnknownRelation = core.ErrUnknownRelation
+	// ErrUnboundVar reports a query variable not covered by the supplied
+	// attribute order (or not bound by any atom).
+	ErrUnboundVar = core.ErrUnboundVar
+)
+
 // Query is a graph-pattern join query. Build one with the pattern
 // constructors below or parse the paper's Datalog syntax with ParseQuery.
 type Query = query.Query
@@ -72,6 +83,7 @@ func NewGraph(edges [][2]int64) *Graph {
 		}
 	}
 	g := &dataset.Graph{N: int(n)}
+	seen := make(map[[2]int64]bool, len(edges))
 	for _, e := range edges {
 		if e[0] == e[1] {
 			continue
@@ -80,6 +92,10 @@ func NewGraph(edges [][2]int64) *Graph {
 		if u > v {
 			u, v = v, u
 		}
+		if seen[[2]int64{u, v}] {
+			continue
+		}
+		seen[[2]int64{u, v}] = true
 		g.Edges = append(g.Edges, [2]int64{u, v})
 	}
 	return &Graph{g: g, db: dataset.DB(g, 1, 1)}
@@ -152,12 +168,12 @@ type Options struct {
 	MaxRows int
 }
 
-func (o Options) engine() (core.Engine, error) {
+func (o Options) engineOptions() engine.Options {
 	alg := o.Algorithm
 	if alg == "" {
 		alg = string(engine.LFTJ)
 	}
-	return engine.New(engine.Options{
+	return engine.Options{
 		Algorithm:   engine.Algorithm(alg),
 		Workers:     o.Workers,
 		Granularity: o.Granularity,
@@ -169,40 +185,38 @@ func (o Options) engine() (core.Engine, error) {
 			DisableSkeleton:  o.DisableSkeleton,
 			DisableCountMemo: o.DisableCountReuse,
 		},
-	})
+	}
 }
 
 // Count evaluates the query on the graph and returns the number of results
-// (all the paper's benchmark queries are counts, §5.1).
+// (all the paper's benchmark queries are counts, §5.1). It is a one-shot
+// convenience over Prepare — repeated executions of the same query should
+// hold a Prepared handle instead.
 func Count(ctx context.Context, g *Graph, q *Query, opts Options) (int64, error) {
-	e, err := opts.engine()
+	p, err := g.Prepare(q, opts)
 	if err != nil {
 		return 0, err
 	}
-	return e.Count(ctx, q, g.db)
+	return p.Count(ctx)
 }
 
 // Enumerate streams result tuples, with bindings in q.Vars() order; emit
-// returns false to stop early.
+// returns false to stop early. It is a one-shot convenience over Prepare.
 func Enumerate(ctx context.Context, g *Graph, q *Query, opts Options, emit func([]int64) bool) error {
-	e, err := opts.engine()
+	p, err := g.Prepare(q, opts)
 	if err != nil {
 		return err
 	}
-	return e.Enumerate(ctx, q, g.db, emit)
+	return p.Enumerate(ctx, emit)
 }
 
 // AGMBound returns the Atserias–Grohe–Marx worst-case output bound of the
 // query on this graph's relation sizes (paper Appendix A) — the quantity
 // worst-case-optimal engines are optimal against.
 func AGMBound(g *Graph, q *Query) (float64, error) {
-	sizes := make([]int, len(q.Atoms))
-	for i, a := range q.Atoms {
-		r, err := g.db.Relation(a.Rel)
-		if err != nil {
-			return 0, fmt.Errorf("agm: %w", err)
-		}
-		sizes[i] = r.Len()
+	sizes, err := relationSizes(g, q)
+	if err != nil {
+		return 0, fmt.Errorf("agm: %w", err)
 	}
 	res, err := agm.Compute(q, sizes)
 	if err != nil {
@@ -211,24 +225,33 @@ func AGMBound(g *Graph, q *Query) (float64, error) {
 	return res.Bound(), nil
 }
 
-// ExecStats collects Minesweeper execution counters (probes, memo hits,
-// constraint inserts, subtree reuses) for the ablation analyses.
-type ExecStats = minesweeper.Stats
+// ExecStats is the unified execution-counter surface every engine reports
+// on: planning counters (plan-cache hits, GAO derivations, index bindings),
+// per-run execution counters, and the engine-specific counters the paper's
+// ablation analyses read (probes, memo hits, constraint inserts, subtree
+// reuses for Minesweeper; leapfrog seeks for LFTJ).
+type ExecStats = core.Stats
 
-// CountWithStats runs the Minesweeper engine sequentially, returning the
-// count and its execution counters.
+// CountWithStats evaluates the query once and returns the count together
+// with its execution counters. The empty Algorithm defaults to "ms" running
+// sequentially (the historical behavior of this function); set
+// opts.Algorithm/opts.Workers to profile any other configuration, or hold a
+// Prepared handle and read Stats() to aggregate across executions.
 func CountWithStats(ctx context.Context, g *Graph, q *Query, opts Options) (int64, ExecStats, error) {
-	var stats ExecStats
-	e := minesweeper.Engine{Opts: minesweeper.Options{
-		GAO:              opts.GAO,
-		DisableMemo:      opts.DisableProbeMemo,
-		DisableComplete:  opts.DisableComplete,
-		DisableSkeleton:  opts.DisableSkeleton,
-		DisableCountMemo: opts.DisableCountReuse,
-		Stats:            &stats,
-	}}
-	n, err := e.Count(ctx, q, g.db)
-	return n, stats, err
+	if opts.Algorithm == "" {
+		opts.Algorithm = "ms"
+	}
+	if opts.Algorithm == "ms" && opts.Workers == 0 {
+		// Sequential by default so the ablation counters stay deterministic
+		// (partitioned runs probe partition boundaries too).
+		opts.Workers = 1
+	}
+	p, err := g.Prepare(q, opts)
+	if err != nil {
+		return 0, ExecStats{}, err
+	}
+	n, err := p.Count(ctx)
+	return n, p.Stats(), err
 }
 
 // CountView is a materialized pattern count maintained incrementally under
@@ -250,6 +273,11 @@ func MaintainCount(ctx context.Context, g *Graph, q *Query) (*CountView, error) 
 
 // Count returns the maintained count.
 func (v *CountView) Count() int64 { return v.inner.Count() }
+
+// Stats returns the view's accumulated planning and execution counters. The
+// view compiles its delta queries once: GAODerivations stays at 1 across
+// arbitrarily many ApplyEdges batches.
+func (v *CountView) Stats() ExecStats { return v.inner.Stats() }
 
 // ApplyEdges inserts and removes undirected edges, updating the graph's
 // relations and the maintained count with delta queries.

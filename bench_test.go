@@ -198,6 +198,39 @@ func BenchmarkCountReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkPreparedReuse is the prepared-API acceptance benchmark: the
+// point-query serving regime (small per-execution work, heavy repetition —
+// the paper's LogicBlox setting) where compiling once and executing many
+// times beats re-entering the per-call pipeline on every request.
+func BenchmarkPreparedReuse(b *testing.B) {
+	ctx := context.Background()
+	g := benchGraph(b, dataset.ErdosRenyi, 100, 300, 10)
+	g.SetSamples([]int64{2, 3, 5}, []int64{7, 11, 13})
+	q := Paths(3)
+	opts := Options{Algorithm: "lftj", Workers: 1}
+	b.Run("percall", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Count(ctx, g, q, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		p, err := g.Prepare(q, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Count(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAGMBound measures the fractional-edge-cover LP solve.
 func BenchmarkAGMBound(b *testing.B) {
 	g := benchGraph(b, dataset.BarabasiAlbert, 1000, 5000, 1)

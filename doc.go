@@ -5,8 +5,31 @@
 // Triejoin) and beyond-worst-case (Minesweeper / #Minesweeper) join
 // algorithms on graph-pattern workloads.
 //
-// The public API evaluates graph-pattern join queries over in-memory graphs
-// with a choice of engines:
+// # Prepare once, execute repeatedly
+//
+// The API follows the lifecycle the paper assumes of its host system
+// (LogicBlox): a query is compiled once against a fixed physical design —
+// validated, its global attribute order (GAO) fixed, every atom bound to a
+// GAO-consistent index (§4.1) — and the compiled plan is then executed
+// repeatedly:
+//
+//	g := repro.GenerateGraph(repro.BarabasiAlbert, 10_000, 50_000, 1)
+//	p, err := g.Prepare(repro.Triangles(), repro.Options{Algorithm: "lftj"})
+//	n, err := p.Count(ctx)            // pure execution, no re-planning
+//	for row := range p.Rows(ctx) {    // streaming iterator; break stops early
+//		...
+//	}
+//	fmt.Print(p.Explain())            // GAO, per-atom index, AGM bound
+//	st := p.Stats()                   // unified counters across executions
+//
+// A Prepared handle is safe for concurrent use and pins the physical design
+// it was compiled against; compiled plans are also cached on the graph
+// (keyed on query shape × algorithm × GAO, invalidated when a relation they
+// read is replaced), so re-preparing an unchanged shape is cheap. One-shot
+// helpers (Count, Enumerate, CountWithStats) remain as thin wrappers over
+// Prepare.
+//
+// # Engines
 //
 //   - "lftj" — Leapfrog Triejoin, worst-case optimal (paper §2.2);
 //   - "ms" — Minesweeper with the constraint data structure and all of the
@@ -17,12 +40,12 @@
 //   - "psql" / "monetdb" — Selinger-style pairwise baselines (row-store DP
 //     optimizer / column-store greedy bulk execution);
 //   - "yannakakis" — the classical linear-time algorithm for acyclic joins;
-//   - "graphlab" — a specialized parallel clique counter.
+//   - "graphlab" — a specialized parallel clique counter;
+//   - "genericjoin" — the paper's Algorithm 1, an implementation ablation.
 //
-// Quick start:
-//
-//	g := repro.GenerateGraph(repro.BarabasiAlbert, 10_000, 50_000, 1)
-//	n, err := repro.Count(ctx, g, repro.Triangles(), repro.Options{Algorithm: "lftj"})
+// The lftj, ms, and genericjoin engines execute pinned compiled plans; the
+// remaining engines re-derive their internal state per run but share the
+// same Prepared interface and unified stats surface.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // regenerated tables and figures.

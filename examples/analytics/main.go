@@ -22,11 +22,21 @@ func main() {
 	fmt.Printf("graph: %d nodes, %d edges\n\n", g.Nodes(), g.Edges())
 
 	// Relational side: pattern counting with the worst-case-optimal join.
-	tri, err := repro.Count(ctx, g, repro.Triangles(), repro.Options{Algorithm: "lftj"})
+	// Each query is compiled once; the handles stay valid for the life of
+	// the graph's physical design and can be executed again at will.
+	triQ, err := g.Prepare(repro.Triangles(), repro.Options{Algorithm: "lftj"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cycles, err := repro.Count(ctx, g, repro.Cycles(4), repro.Options{Algorithm: "lftj"})
+	cycQ, err := g.Prepare(repro.Cycles(4), repro.Options{Algorithm: "lftj"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tri, err := triQ.Count(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cycles, err := cycQ.Count(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

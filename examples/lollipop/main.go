@@ -24,9 +24,14 @@ func main() {
 		q := repro.Lollipops(i)
 		fmt.Printf("%s: %s\n", q.Name, q)
 		for _, alg := range []string{"lftj", "ms", "hybrid"} {
+			p, err := g.Prepare(q, repro.Options{Algorithm: alg, Workers: 1})
+			if err != nil {
+				fmt.Printf("  %-8s error: %v\n", alg, err)
+				continue
+			}
 			runCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 			start := time.Now()
-			n, err := repro.Count(runCtx, g, q, repro.Options{Algorithm: alg, Workers: 1})
+			n, err := p.Count(runCtx)
 			cancel()
 			switch {
 			case errors.Is(err, context.DeadlineExceeded):

@@ -6,7 +6,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -14,14 +16,32 @@ import (
 	"repro/internal/relation"
 )
 
+// Typed failure kinds, so API callers can branch on errors.Is instead of
+// matching message text.
+var (
+	// ErrUnknownRelation reports a query atom naming a relation the
+	// database does not hold.
+	ErrUnknownRelation = errors.New("unknown relation")
+	// ErrUnboundVar reports a query variable not covered by the global
+	// attribute order (or not bound by any atom).
+	ErrUnboundVar = errors.New("variable not bound")
+)
+
 // DB is a collection of named relations. Engines request GAO-consistent
 // secondary indexes through Index; results are cached because the paper's
 // protocol reuses the same physical design across queries (§4.1: "all input
-// relations are indexed consistent with this GAO").
+// relations are indexed consistent with this GAO"). The DB also caches
+// compiled query plans (see plan.go); both caches are invalidated per
+// relation by Add.
 type DB struct {
 	mu      sync.Mutex
 	rels    map[string]*relation.Relation
 	indexes map[string]*relation.Relation
+	plans   map[string]*Plan
+	// version increments on every Add; plan compilation snapshots it so a
+	// plan bound against relations that were replaced mid-compile is never
+	// cached (it would otherwise dodge Add's invalidation sweep forever).
+	version int64
 }
 
 // NewDB returns an empty database.
@@ -29,19 +49,27 @@ func NewDB() *DB {
 	return &DB{
 		rels:    make(map[string]*relation.Relation),
 		indexes: make(map[string]*relation.Relation),
+		plans:   make(map[string]*Plan),
 	}
 }
 
 // Add registers a relation under its name, replacing any previous relation
-// with that name and invalidating its cached indexes.
+// with that name and invalidating its cached indexes and any cached plans
+// that read it.
 func (db *DB) Add(r *relation.Relation) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.version++
 	db.rels[r.Name()] = r
 	prefix := r.Name() + "/"
 	for k := range db.indexes {
 		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
 			delete(db.indexes, k)
+		}
+	}
+	for k, p := range db.plans {
+		if p.reads(r.Name()) {
+			delete(db.plans, k)
 		}
 	}
 }
@@ -52,7 +80,7 @@ func (db *DB) Relation(name string) (*relation.Relation, error) {
 	defer db.mu.Unlock()
 	r, ok := db.rels[name]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown relation %q", name)
+		return nil, fmt.Errorf("core: %w: %q", ErrUnknownRelation, name)
 	}
 	return r, nil
 }
@@ -83,7 +111,7 @@ func (db *DB) Index(name string, perm []int) (*relation.Relation, error) {
 	}
 	r, ok := db.rels[name]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown relation %q", name)
+		return nil, fmt.Errorf("core: %w: %q", ErrUnknownRelation, name)
 	}
 	idx := r.Permute(perm)
 	db.indexes[key] = idx
@@ -122,13 +150,9 @@ func BindAtoms(q *query.Query, db *DB, gao []string) ([]AtomIndex, error) {
 		for k := range order {
 			order[k] = k
 		}
-		for x := 0; x < len(order); x++ {
-			for y := x + 1; y < len(order); y++ {
-				if pos[a.Vars[order[y]]] < pos[a.Vars[order[x]]] {
-					order[x], order[y] = order[y], order[x]
-				}
-			}
-		}
+		sort.Slice(order, func(x, y int) bool {
+			return pos[a.Vars[order[x]]] < pos[a.Vars[order[y]]]
+		})
 		idx, err := db.Index(a.Rel, order)
 		if err != nil {
 			return nil, err
@@ -137,7 +161,7 @@ func BindAtoms(q *query.Query, db *DB, gao []string) ([]AtomIndex, error) {
 		for k, col := range order {
 			p, ok := pos[a.Vars[col]]
 			if !ok {
-				return nil, fmt.Errorf("core: GAO misses variable %q of atom %s", a.Vars[col], a)
+				return nil, fmt.Errorf("core: %w: GAO misses variable %q of atom %s", ErrUnboundVar, a.Vars[col], a)
 			}
 			varPos[k] = p
 		}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// Plan is a compiled query: the query fixed against a concrete GAO with its
+// GAO-consistent atom indexes already bound (§4.1's physical design, derived
+// once). Engines that execute plans skip validation, attribute-order
+// resolution, and index binding entirely on every run. A Plan is immutable
+// after construction and safe to share across goroutines: the bound indexes
+// are read-only relations, and each execution builds its own iterator and
+// memo state.
+type Plan struct {
+	// Query is the compiled query.
+	Query *query.Query
+	// Algorithm is the engine the plan was compiled for.
+	Algorithm string
+	// GAO is the resolved global attribute order.
+	GAO []string
+	// Atoms holds the GAO-consistent index binding of each query atom, in
+	// q.Atoms order.
+	Atoms []AtomIndex
+	// InSkel marks the atoms in Minesweeper's skeleton (§4.9); nil means
+	// every atom.
+	InSkel []bool
+	// BetaCyclic records whether the query is β-cyclic (drives the §4.10
+	// parallel-granularity default and Minesweeper's skeleton split).
+	BetaCyclic bool
+}
+
+// reads reports whether the plan binds an index over the named relation.
+func (p *Plan) reads(rel string) bool {
+	for _, a := range p.Query.Atoms {
+		if a.Rel == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// PlanKey builds the plan-cache key for a query shape under one algorithm
+// and (possibly empty) user-supplied GAO. variant distinguishes compilations
+// of the same shape that planner toggles would change (e.g. Minesweeper with
+// the skeleton idea disabled).
+func PlanKey(algorithm, variant string, userGAO []string, q *query.Query) string {
+	var b strings.Builder
+	b.WriteString(algorithm)
+	b.WriteByte('|')
+	b.WriteString(variant)
+	b.WriteByte('|')
+	b.WriteString(strings.Join(userGAO, ","))
+	b.WriteByte('|')
+	b.WriteString(q.String())
+	return b.String()
+}
+
+// maxCachedPlans bounds the plan cache so ad-hoc query streams with many
+// distinct shapes cannot grow it without limit; eviction is arbitrary
+// because any entry is equally cheap to recompile.
+const maxCachedPlans = 1024
+
+// CachedPlan returns the cached plan for key, if present, together with the
+// database version to pass back to StorePlan on a miss.
+func (db *DB) CachedPlan(key string) (*Plan, int64, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p, ok := db.plans[key]
+	return p, db.version, ok
+}
+
+// StorePlan caches a compiled plan under key. version must be the database
+// version the compilation started from (returned by CachedPlan): if any
+// relation was replaced while the plan was being built, the store is
+// skipped — caching it would pin a pre-replacement snapshot that Add's
+// invalidation sweep already ran past. Cached plans are dropped when Add
+// replaces a relation they read.
+func (db *DB) StorePlan(key string, p *Plan, version int64) {
+	if p == nil || p.Query == nil {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.version != version {
+		return
+	}
+	if len(db.plans) >= maxCachedPlans {
+		for k := range db.plans {
+			delete(db.plans, k)
+			break
+		}
+	}
+	db.plans[key] = p
+}
+
+// CachedPlanCount returns the number of cached plans (tests observe
+// invalidation through it).
+func (db *DB) CachedPlanCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.plans)
+}
+
+// NewPlan compiles a query for an engine: validates it, checks the GAO
+// covers every variable, binds the GAO-consistent indexes, and verifies
+// atom/relation arity agreement. Counters for the work performed are added
+// to sc (which may be nil). NewPlan does not consult the plan cache — see
+// the engine package for the cached compilation entry point.
+func NewPlan(q *query.Query, db *DB, algorithm string, gao []string, inSkel []bool, betaCyclic bool, sc *StatsCollector) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gao) != q.NumVars() {
+		return nil, fmt.Errorf("core: GAO %v does not cover the %d query variables: %w", gao, q.NumVars(), ErrUnboundVar)
+	}
+	atoms, err := BindAtoms(q, db, gao)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range atoms {
+		if a.Rel.Arity() != len(q.Atoms[i].Vars) {
+			return nil, fmt.Errorf("core: atom %s arity mismatch with relation %s", q.Atoms[i], a.Rel)
+		}
+	}
+	sc.Add(Stats{IndexBindings: int64(len(atoms))})
+	return &Plan{
+		Query:      q,
+		Algorithm:  algorithm,
+		GAO:        gao,
+		Atoms:      atoms,
+		InSkel:     inSkel,
+		BetaCyclic: betaCyclic,
+	}, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import "sync"
+
+// Stats is the unified execution-counter surface shared by every engine and
+// by the planner. One struct serves both layers so a single snapshot
+// answers "what did this prepared query cost so far": the planning block
+// shows that compilation happened once, the execution block aggregates every
+// run, and the engine blocks expose the algorithm-specific counters the
+// paper's ablation tables are built from.
+type Stats struct {
+	// Planning. These move only while compiling a plan, never during
+	// execution — a prepared query executed N times keeps GAODerivations
+	// and IndexBindings at their compile-time values.
+
+	// PlanCacheHits counts plan compilations answered from the DB's plan
+	// cache.
+	PlanCacheHits int64
+	// PlanCacheMisses counts plan compilations that had to run the planner.
+	PlanCacheMisses int64
+	// GAODerivations counts global-attribute-order resolutions (hypergraph
+	// analysis or coverage checking of a user-supplied order).
+	GAODerivations int64
+	// IndexBindings counts atom-to-index bindings performed (one per atom
+	// per compilation; the underlying permuted indexes are cached on the DB).
+	IndexBindings int64
+
+	// Execution (every engine).
+
+	// Executions counts top-level Count/Enumerate runs.
+	Executions int64
+	// Outputs is the number of result tuples reported.
+	Outputs int64
+
+	// Leapfrog Triejoin.
+
+	// Seeks is the number of trie-iterator seek operations issued by the
+	// leapfrog intersections.
+	Seeks int64
+
+	// Minesweeper (the paper's Ideas 4, 6, 7, 8).
+
+	// Probes is the number of index probes actually issued (seekGap calls).
+	Probes int64
+	// ProbeMemoHits counts probes answered from the Idea 4 memo without
+	// touching the index.
+	ProbeMemoHits int64
+	// Constraints is the number of gap-box constraints inserted into the CDS.
+	Constraints int64
+	// FreeTupleSteps is the number of CDS search iterations (Algorithm 4
+	// loop turns).
+	FreeTupleSteps int64
+	// ReuseHits counts Idea 8 subtree-count reuses (whole subtrees skipped).
+	ReuseHits int64
+	// MemoStores counts subtree counts recorded for future reuse.
+	MemoStores int64
+}
+
+// Merge accumulates counters from another snapshot.
+func (s *Stats) Merge(o Stats) {
+	s.PlanCacheHits += o.PlanCacheHits
+	s.PlanCacheMisses += o.PlanCacheMisses
+	s.GAODerivations += o.GAODerivations
+	s.IndexBindings += o.IndexBindings
+	s.Executions += o.Executions
+	s.Outputs += o.Outputs
+	s.Seeks += o.Seeks
+	s.Probes += o.Probes
+	s.ProbeMemoHits += o.ProbeMemoHits
+	s.Constraints += o.Constraints
+	s.FreeTupleSteps += o.FreeTupleSteps
+	s.ReuseHits += o.ReuseHits
+	s.MemoStores += o.MemoStores
+}
+
+// StatsCollector accumulates Stats from concurrent executions. Engines
+// batch counters locally and Add them once per run, so the lock is taken a
+// handful of times per execution, not per tuple. The zero value is ready to
+// use; a nil *StatsCollector is a valid sink that records nothing.
+type StatsCollector struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+// Add merges one run's counters into the collector. Safe for concurrent use;
+// a nil receiver is a no-op.
+func (c *StatsCollector) Add(o Stats) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.s.Merge(o)
+	c.mu.Unlock()
+}
+
+// Snapshot returns the accumulated counters. Safe for concurrent use; a nil
+// receiver returns zeros.
+func (c *StatsCollector) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}

@@ -67,6 +67,12 @@ type Options struct {
 	GAO []string
 	// MaxRows caps pairwise-engine intermediates.
 	MaxRows int
+	// Plan, when set, is a compiled plan the engine executes directly
+	// (LFTJ, Minesweeper, and generic join); see Prepare.
+	Plan *core.Plan
+	// Stats, when non-nil, receives execution counters from every engine on
+	// the unified core stats surface.
+	Stats *core.StatsCollector
 }
 
 // New returns the configured engine.
@@ -75,20 +81,60 @@ func New(opts Options) (core.Engine, error) {
 	case LFTJ, MS:
 		return &parallel{opts: opts}, nil
 	case Hybrid:
-		return hybrid.Engine{}, nil
+		return instrument(hybrid.Engine{}, opts.Stats), nil
 	case PSQL:
-		return pairwise.Engine{Opts: pairwise.Options{Flavor: pairwise.DP, MaxRows: opts.MaxRows}}, nil
+		return instrument(pairwise.Engine{Opts: pairwise.Options{Flavor: pairwise.DP, MaxRows: opts.MaxRows}}, opts.Stats), nil
 	case MonetDB:
-		return pairwise.Engine{Opts: pairwise.Options{Flavor: pairwise.Greedy, MaxRows: opts.MaxRows}}, nil
+		return instrument(pairwise.Engine{Opts: pairwise.Options{Flavor: pairwise.Greedy, MaxRows: opts.MaxRows}}, opts.Stats), nil
 	case Yannakakis:
-		return yannakakis.Engine{}, nil
+		return instrument(yannakakis.Engine{}, opts.Stats), nil
 	case GraphLab:
-		return graphengine.Engine{Workers: opts.Workers}, nil
+		return instrument(graphengine.Engine{Workers: opts.Workers}, opts.Stats), nil
 	case GenericJoin:
-		return genericjoin.Engine{GAO: opts.GAO}, nil
+		return instrument(genericjoin.Engine{GAO: opts.GAO, Plan: opts.Plan}, opts.Stats), nil
 	default:
 		return nil, fmt.Errorf("engine: unknown algorithm %q", opts.Algorithm)
 	}
+}
+
+// instrument wraps an engine without internal counter support so its
+// executions and output cardinalities still land on the unified stats
+// surface. A nil collector leaves the engine untouched.
+func instrument(e core.Engine, sc *core.StatsCollector) core.Engine {
+	if sc == nil {
+		return e
+	}
+	return instrumented{inner: e, sc: sc}
+}
+
+type instrumented struct {
+	inner core.Engine
+	sc    *core.StatsCollector
+}
+
+// Name implements core.Engine.
+func (e instrumented) Name() string { return e.inner.Name() }
+
+// Count implements core.Engine.
+func (e instrumented) Count(ctx context.Context, q *query.Query, db *core.DB) (int64, error) {
+	n, err := e.inner.Count(ctx, q, db)
+	st := core.Stats{Executions: 1}
+	if err == nil {
+		st.Outputs = n
+	}
+	e.sc.Add(st)
+	return n, err
+}
+
+// Enumerate implements core.Engine.
+func (e instrumented) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit func([]int64) bool) error {
+	var outputs int64
+	err := e.inner.Enumerate(ctx, q, db, func(t []int64) bool {
+		outputs++
+		return emit(t)
+	})
+	e.sc.Add(core.Stats{Executions: 1, Outputs: outputs})
+	return err
 }
 
 // parallel partitions Count across first-attribute ranges; Enumerate runs
@@ -102,12 +148,14 @@ func (p *parallel) Name() string { return string(p.opts.Algorithm) }
 
 func (p *parallel) single() core.Engine {
 	if p.opts.Algorithm == LFTJ {
-		return lftj.Engine{Opts: lftj.Options{GAO: p.gao()}}
+		return lftj.Engine{Opts: lftj.Options{GAO: p.gao(), Plan: p.opts.Plan, Stats: p.opts.Stats}}
 	}
 	ms := p.opts.MS
 	if ms.GAO == nil {
 		ms.GAO = p.opts.GAO
 	}
+	ms.Plan = p.opts.Plan
+	ms.Collector = p.opts.Stats
 	return minesweeper.Engine{Opts: ms}
 }
 
@@ -122,9 +170,16 @@ func (p *parallel) workers() int {
 
 // granularity applies the paper's default f (§4.10): 1 for β-acyclic
 // queries, 8 for cyclic ones, "determined after minor micro experiments".
+// A compiled plan carries the classification; without one it is re-derived.
 func (p *parallel) granularity(q *query.Query) int {
 	if p.opts.Granularity > 0 {
 		return p.opts.Granularity
+	}
+	if p.opts.Plan != nil {
+		if p.opts.Plan.BetaCyclic {
+			return 8
+		}
+		return 1
 	}
 	if _, ok := hypergraph.FindChainGAO(q.Vars(), q.Atoms); ok {
 		return 1
@@ -134,17 +189,22 @@ func (p *parallel) granularity(q *query.Query) int {
 
 // Enumerate implements core.Engine.
 func (p *parallel) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit func([]int64) bool) error {
+	p.opts.Stats.Add(core.Stats{Executions: 1})
 	return p.single().Enumerate(ctx, q, db, emit)
 }
 
 // Count implements core.Engine.
 func (p *parallel) Count(ctx context.Context, q *query.Query, db *core.DB) (int64, error) {
+	p.opts.Stats.Add(core.Stats{Executions: 1})
 	workers := p.workers()
+	if workers <= 1 {
+		return p.single().Count(ctx, q, db)
+	}
 	jobs, err := p.splitJobs(q, db, workers*p.granularity(q))
 	if err != nil {
 		return 0, err
 	}
-	if workers <= 1 || len(jobs) <= 1 {
+	if len(jobs) <= 1 {
 		return p.single().Count(ctx, q, db)
 	}
 	ctx, cancel := context.WithCancel(ctx)
@@ -189,7 +249,7 @@ func (p *parallel) Count(ctx context.Context, q *query.Query, db *core.DB) (int6
 
 func (p *parallel) rangeCount(ctx context.Context, q *query.Query, db *core.DB, lo, hi int64) (int64, error) {
 	if p.opts.Algorithm == LFTJ {
-		e := lftj.Engine{Opts: lftj.Options{GAO: p.gao(), FirstVarRange: &lftj.Range{Lo: lo, Hi: hi}}}
+		e := lftj.Engine{Opts: lftj.Options{GAO: p.gao(), FirstVarRange: &lftj.Range{Lo: lo, Hi: hi}, Plan: p.opts.Plan, Stats: p.opts.Stats}}
 		return e.Count(ctx, q, db)
 	}
 	ms := p.opts.MS
@@ -197,6 +257,11 @@ func (p *parallel) rangeCount(ctx context.Context, q *query.Query, db *core.DB, 
 		ms.GAO = p.opts.GAO
 	}
 	ms.FirstVarRange = &minesweeper.Range{Lo: lo, Hi: hi}
+	ms.Plan = p.opts.Plan
+	ms.Collector = p.opts.Stats
+	// The per-job legacy Stats pointer is not safe under concurrent adds;
+	// concurrent jobs report through the collector instead.
+	ms.Stats = nil
 	return minesweeper.Engine{Opts: ms}.Count(ctx, q, db)
 }
 
@@ -204,19 +269,24 @@ func (p *parallel) rangeCount(ctx context.Context, q *query.Query, db *core.DB, 
 // n contiguous ranges of roughly equal candidate counts (the paper's
 // "p equal-sized parts" of the output space).
 func (p *parallel) splitJobs(q *query.Query, db *core.DB, n int) ([][2]int64, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	gao := p.opts.GAO
-	if gao == nil {
-		if p.opts.Algorithm == MS {
-			plan, err := hypergraph.PlanQuery(q)
-			if err != nil {
-				return nil, err
+	var gao []string
+	if p.opts.Plan != nil {
+		gao = p.opts.Plan.GAO
+	} else {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		gao = p.opts.GAO
+		if gao == nil {
+			if p.opts.Algorithm == MS {
+				plan, err := hypergraph.PlanQuery(q)
+				if err != nil {
+					return nil, err
+				}
+				gao = plan.GAO
+			} else {
+				gao = q.Vars()
 			}
-			gao = plan.GAO
-		} else {
-			gao = q.Vars()
 		}
 	}
 	first := gao[0]

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/minesweeper"
+	"repro/internal/query"
+)
+
+// Prepare compiles q once for the configured engine and returns the engine
+// pinned to the compiled plan: validation, GAO resolution, and index binding
+// happen here (or are answered from the DB's plan cache) and never again on
+// Count/Enumerate. Algorithms without a plan representation (the pairwise
+// baselines, Yannakakis, GraphLab, and the hybrid) are validated and
+// returned unplanned — plan is nil and each run re-derives whatever internal
+// state it needs. Counters for the compilation land on opts.Stats.
+func Prepare(opts Options, q *query.Query, db *core.DB) (core.Engine, *core.Plan, error) {
+	if opts.Algorithm == "" {
+		opts.Algorithm = LFTJ
+	}
+	switch opts.Algorithm {
+	case LFTJ, MS, GenericJoin:
+		plan, err := CompilePlan(opts, q, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Plan = plan
+		e, err := New(opts)
+		return e, plan, err
+	default:
+		if err := q.Validate(); err != nil {
+			return nil, nil, err
+		}
+		e, err := New(opts)
+		return e, nil, err
+	}
+}
+
+// CompilePlan resolves the GAO and binds the GAO-consistent indexes for a
+// plan-aware algorithm, consulting and populating the DB's plan cache. The
+// cache key is the query shape × algorithm × user-supplied GAO (plus planner
+// toggles that change compilation); entries are dropped when DB.Add replaces
+// a relation the plan reads.
+func CompilePlan(opts Options, q *query.Query, db *core.DB) (*core.Plan, error) {
+	alg := opts.Algorithm
+	if alg == "" {
+		alg = LFTJ
+	}
+	userGAO := opts.GAO
+	variant := ""
+	if alg == MS {
+		if opts.MS.GAO != nil {
+			userGAO = opts.MS.GAO
+		}
+		if opts.MS.DisableSkeleton {
+			variant = "noskel"
+		}
+	}
+	key := core.PlanKey(string(alg), variant, userGAO, q)
+	p, version, ok := db.CachedPlan(key)
+	if ok {
+		opts.Stats.Add(core.Stats{PlanCacheHits: 1})
+		return p, nil
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var gao []string
+	var inSkel []bool
+	betaCyclic := false
+	switch alg {
+	case MS:
+		msOpts := opts.MS
+		msOpts.GAO = userGAO
+		var err error
+		gao, inSkel, betaCyclic, err = minesweeper.ResolvePlan(q, msOpts)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		gao = userGAO
+		if gao == nil {
+			gao = q.Vars()
+		}
+		_, acyclic := hypergraph.FindChainGAO(q.Vars(), q.Atoms)
+		betaCyclic = !acyclic
+	}
+	opts.Stats.Add(core.Stats{GAODerivations: 1})
+	plan, err := core.NewPlan(q, db, string(alg), gao, inSkel, betaCyclic, opts.Stats)
+	if err != nil {
+		return nil, err
+	}
+	db.StorePlan(key, plan, version)
+	opts.Stats.Add(core.Stats{PlanCacheMisses: 1})
+	return plan, nil
+}

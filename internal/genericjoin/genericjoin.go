@@ -27,6 +27,9 @@ import (
 type Engine struct {
 	// GAO overrides the variable order (default: first-appearance).
 	GAO []string
+	// Plan, when set, is a compiled plan for the query: validation, GAO
+	// resolution, and index binding are skipped.
+	Plan *core.Plan
 }
 
 // Name implements core.Engine.
@@ -44,23 +47,30 @@ func (e Engine) Count(ctx context.Context, q *query.Query, db *core.DB) (int64, 
 
 // Enumerate implements core.Engine.
 func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit func([]int64) bool) error {
-	if err := q.Validate(); err != nil {
-		return err
-	}
-	gao := e.GAO
-	if gao == nil {
-		gao = q.Vars()
-	}
-	if len(gao) != q.NumVars() {
-		return fmt.Errorf("genericjoin: GAO %v does not cover the %d query variables", gao, q.NumVars())
-	}
-	atoms, err := core.BindAtoms(q, db, gao)
-	if err != nil {
-		return err
-	}
-	for i, a := range atoms {
-		if a.Rel.Arity() != len(q.Atoms[i].Vars) {
-			return fmt.Errorf("genericjoin: atom %s arity mismatch with relation %s", q.Atoms[i], a.Rel)
+	var gao []string
+	var atoms []core.AtomIndex
+	if p := e.Plan; p != nil {
+		gao, atoms = p.GAO, p.Atoms
+	} else {
+		if err := q.Validate(); err != nil {
+			return err
+		}
+		gao = e.GAO
+		if gao == nil {
+			gao = q.Vars()
+		}
+		if len(gao) != q.NumVars() {
+			return fmt.Errorf("genericjoin: GAO %v does not cover the %d query variables: %w", gao, q.NumVars(), core.ErrUnboundVar)
+		}
+		var err error
+		atoms, err = core.BindAtoms(q, db, gao)
+		if err != nil {
+			return err
+		}
+		for i, a := range atoms {
+			if a.Rel.Arity() != len(q.Atoms[i].Vars) {
+				return fmt.Errorf("genericjoin: atom %s arity mismatch with relation %s", q.Atoms[i], a.Rel)
+			}
 		}
 	}
 	ex := &exec{
@@ -89,7 +99,7 @@ func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit
 			return fmt.Errorf("genericjoin: variable %s (depth %d) not bound by any atom", gao[d], d)
 		}
 	}
-	_, err = ex.run(0, rangesAll(atoms))
+	_, err := ex.run(0, rangesAll(atoms))
 	return err
 }
 

@@ -28,13 +28,22 @@ import (
 // database during a correction pass.
 const deltaSuffix = "@delta"
 
-// View is a maintained count of a query over a database.
+// View is a maintained count of a query over a database. The delta queries
+// it evaluates per update batch are planned once: the GAO and the per-mask
+// term queries are derived at construction (or on a relation's first
+// update) and reused across every ApplyEdges/UpdateRelation batch — only
+// the delta relation's indexes are re-bound, because only they changed.
 type View struct {
 	q     *query.Query
 	db    *core.DB
 	count int64
+	gao   []string
 	// occ[rel] lists the atom indices referencing rel.
 	occ map[string][]int
+	// terms[rel] holds the prepared delta-term queries, one per non-empty
+	// occurrence subset, built once per relation.
+	terms map[string][]*query.Query
+	sc    *core.StatsCollector
 }
 
 // NewView computes the initial count and returns the maintained view.
@@ -42,19 +51,50 @@ func NewView(ctx context.Context, q *query.Query, db *core.DB) (*View, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	n, err := (lftj.Engine{}).Count(ctx, q, db)
+	v := &View{
+		q:     q,
+		db:    db,
+		gao:   q.Vars(),
+		occ:   make(map[string][]int),
+		terms: make(map[string][]*query.Query),
+		sc:    &core.StatsCollector{},
+	}
+	v.sc.Add(core.Stats{GAODerivations: 1})
+	n, err := v.run(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	v := &View{q: q, db: db, count: n, occ: make(map[string][]int)}
+	v.count = n
 	for i, a := range q.Atoms {
 		v.occ[a.Rel] = append(v.occ[a.Rel], i)
 	}
 	return v, nil
 }
 
+// run evaluates one query (the view query or a delta term) with the
+// worst-case-optimal engine under the view's fixed GAO. The atom binding
+// runs per call because the delta relation's data changes every batch, but
+// unchanged base-relation indexes are served from the DB's index cache.
+func (v *View) run(ctx context.Context, q *query.Query) (int64, error) {
+	plan, err := core.NewPlan(q, v.db, "lftj", v.gao, nil, false, v.sc)
+	if err != nil {
+		return 0, err
+	}
+	v.sc.Add(core.Stats{Executions: 1})
+	e := lftj.Engine{Opts: lftj.Options{Plan: plan, Stats: v.sc}}
+	return e.Count(ctx, q, v.db)
+}
+
 // Count returns the maintained count.
 func (v *View) Count() int64 { return v.count }
+
+// Stats returns the view's accumulated planning and execution counters.
+// GAODerivations stays at 1 across arbitrarily many update batches — the
+// attribute order and term queries are derived once. IndexBindings grows
+// with each delta-term run (the delta relation's data changes every batch,
+// so its atoms re-bind; unchanged base-relation indexes are cache hits
+// inside the binding).
+func (v *View) Stats() core.Stats { return v.sc.Snapshot() }
 
 // Recount recomputes from scratch (for verification).
 func (v *View) Recount(ctx context.Context) (int64, error) {
@@ -110,14 +150,37 @@ func (v *View) apply(rel string, r *relation.Relation, inserts, deletes [][]int6
 	return nil
 }
 
-// deltaTerms sums Q[S ↦ Δ, rest ↦ current] over non-empty S ⊆ occ(rel).
+// deltaTerms sums Q[S ↦ Δ, rest ↦ current] over non-empty S ⊆ occ(rel),
+// executing each term's prepared query. Term construction and planning
+// happen once per relation; per batch only the delta indexes are re-bound.
 func (v *View) deltaTerms(ctx context.Context, rel string, delta *relation.Relation) (int64, error) {
 	v.db.Add(delta)
-	occ := v.occ[rel]
-	if len(occ) > 20 {
-		return 0, fmt.Errorf("incremental: %d occurrences of %s exceeds the subset budget", len(occ), rel)
+	terms, err := v.termQueries(rel)
+	if err != nil {
+		return 0, err
 	}
 	var total int64
+	for _, term := range terms {
+		n, err := v.run(ctx, term)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// termQueries returns the delta-term queries for one relation, building and
+// caching them on first use.
+func (v *View) termQueries(rel string) ([]*query.Query, error) {
+	if terms, ok := v.terms[rel]; ok {
+		return terms, nil
+	}
+	occ := v.occ[rel]
+	if len(occ) > 20 {
+		return nil, fmt.Errorf("incremental: %d occurrences of %s exceeds the subset budget", len(occ), rel)
+	}
+	terms := make([]*query.Query, 0, 1<<uint(len(occ))-1)
 	for mask := 1; mask < 1<<uint(len(occ)); mask++ {
 		atoms := make([]query.Atom, len(v.q.Atoms))
 		copy(atoms, v.q.Atoms)
@@ -126,14 +189,10 @@ func (v *View) deltaTerms(ctx context.Context, rel string, delta *relation.Relat
 				atoms[ai] = query.Atom{Rel: rel + deltaSuffix, Vars: atoms[ai].Vars}
 			}
 		}
-		term := query.New(v.q.Name+"/delta", atoms...)
-		n, err := (lftj.Engine{}).Count(ctx, term, v.db)
-		if err != nil {
-			return 0, err
-		}
-		total += n
+		terms = append(terms, query.New(v.q.Name+"/delta", atoms...))
 	}
-	return total, nil
+	v.terms[rel] = terms
+	return terms, nil
 }
 
 // filterPresent returns the tuples whose presence in r equals want.

@@ -27,6 +27,12 @@ type Options struct {
 	GAO []string
 	// FirstVarRange restricts the first GAO variable for parallel jobs.
 	FirstVarRange *Range
+	// Plan, when set, is a compiled plan for the query: validation, GAO
+	// resolution, and index binding are skipped and the plan's bound
+	// indexes are executed directly.
+	Plan *core.Plan
+	// Stats, when non-nil, receives this run's execution counters.
+	Stats *core.StatsCollector
 }
 
 // Engine is the Leapfrog Triejoin engine.
@@ -49,23 +55,30 @@ func (e Engine) Count(ctx context.Context, q *query.Query, db *core.DB) (int64, 
 
 // Enumerate implements core.Engine.
 func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit func([]int64) bool) error {
-	if err := q.Validate(); err != nil {
-		return err
-	}
-	gao := e.Opts.GAO
-	if gao == nil {
-		gao = q.Vars()
-	}
-	if len(gao) != q.NumVars() {
-		return fmt.Errorf("lftj: GAO %v does not cover the %d query variables", gao, q.NumVars())
-	}
-	atoms, err := core.BindAtoms(q, db, gao)
-	if err != nil {
-		return err
-	}
-	for i, a := range atoms {
-		if a.Rel.Arity() != len(q.Atoms[i].Vars) {
-			return fmt.Errorf("lftj: atom %s arity mismatch with relation %s", q.Atoms[i], a.Rel)
+	var gao []string
+	var atoms []core.AtomIndex
+	if p := e.Opts.Plan; p != nil {
+		gao, atoms = p.GAO, p.Atoms
+	} else {
+		if err := q.Validate(); err != nil {
+			return err
+		}
+		gao = e.Opts.GAO
+		if gao == nil {
+			gao = q.Vars()
+		}
+		if len(gao) != q.NumVars() {
+			return fmt.Errorf("lftj: GAO %v does not cover the %d query variables: %w", gao, q.NumVars(), core.ErrUnboundVar)
+		}
+		var err error
+		atoms, err = core.BindAtoms(q, db, gao)
+		if err != nil {
+			return err
+		}
+		for i, a := range atoms {
+			if a.Rel.Arity() != len(q.Atoms[i].Vars) {
+				return fmt.Errorf("lftj: atom %s arity mismatch with relation %s", q.Atoms[i], a.Rel)
+			}
 		}
 	}
 	ex := &exec{
@@ -92,10 +105,13 @@ func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit
 	}
 	for d, its := range ex.byVar {
 		if len(its) == 0 {
-			return fmt.Errorf("lftj: variable %s (depth %d) not bound by any atom", gao[d], d)
+			return fmt.Errorf("lftj: variable %s (depth %d) not bound by any atom: %w", gao[d], d, core.ErrUnboundVar)
 		}
 	}
-	_, err = ex.run(0)
+	_, err := ex.run(0)
+	if sc := e.Opts.Stats; sc != nil {
+		sc.Add(core.Stats{Outputs: ex.outputs, Seeks: ex.seeks})
+	}
 	return err
 }
 
@@ -108,6 +124,8 @@ type exec struct {
 	tick    *core.Ticker
 	rng     *Range
 	out     []int64
+	outputs int64
+	seeks   int64
 }
 
 // run executes the triejoin at GAO depth d; it returns false when
@@ -122,7 +140,7 @@ func (ex *exec) run(d int) (bool, error) {
 			it.Up()
 		}
 	}()
-	lf := leapfrog{its: its}
+	lf := leapfrog{its: its, seeks: &ex.seeks}
 	if !lf.init() {
 		return true, nil
 	}
@@ -157,6 +175,7 @@ func (ex *exec) run(d int) (bool, error) {
 }
 
 func (ex *exec) emitTuple() bool {
+	ex.outputs++
 	if ex.out == nil {
 		ex.out = make([]int64, ex.n)
 	}
@@ -169,9 +188,10 @@ func (ex *exec) emitTuple() bool {
 // leapfrog is the multiway sorted intersection of one trie level across the
 // participating atoms (Veldhuizen's leapfrog-init/search/next).
 type leapfrog struct {
-	its []*relation.TrieIterator
-	p   int
-	key int64
+	its   []*relation.TrieIterator
+	p     int
+	key   int64
+	seeks *int64
 }
 
 // init sorts the iterators by key and finds the first match. It returns
@@ -204,6 +224,7 @@ func (lf *leapfrog) search() bool {
 			return true
 		}
 		it.SeekGE(max)
+		*lf.seeks++
 		if it.AtEnd() {
 			return false
 		}
@@ -230,6 +251,7 @@ func (lf *leapfrog) seek(v int64) bool {
 	}
 	it := lf.its[lf.p]
 	it.SeekGE(v)
+	*lf.seeks++
 	if it.AtEnd() {
 		return false
 	}

@@ -57,7 +57,7 @@ func TestCounterSubtreeReuse(t *testing.T) {
 // only on c itself.
 func TestCounterContextShape(t *testing.T) {
 	q := query.Path(3)
-	gao, _, err := resolvePlan(q, Options{})
+	gao, _, _, err := resolvePlan(q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,8 +35,16 @@ type Options struct {
 	DisableCountMemo bool
 	// FirstVarRange restricts the first GAO variable for parallel jobs.
 	FirstVarRange *Range
-	// Stats, when non-nil, accumulates execution counters.
+	// Stats, when non-nil, accumulates execution counters. It is not safe
+	// for concurrent executions; prefer Collector for those.
 	Stats *Stats
+	// Plan, when set, is a compiled plan for the query: validation, GAO and
+	// skeleton resolution, and index binding are skipped and the plan's
+	// bound indexes are executed directly.
+	Plan *core.Plan
+	// Collector, when non-nil, receives this run's counters on the unified
+	// core stats surface. Safe for concurrent executions.
+	Collector *core.StatsCollector
 }
 
 // Engine is the Minesweeper engine.
@@ -80,16 +88,31 @@ type exec struct {
 }
 
 func (e Engine) run(ctx context.Context, q *query.Query, db *core.DB, emit func([]int64) bool) (int64, error) {
-	if err := q.Validate(); err != nil {
-		return 0, err
-	}
-	gao, inSkel, err := resolvePlan(q, e.Opts)
-	if err != nil {
-		return 0, err
-	}
-	atoms, err := core.BindAtoms(q, db, gao)
-	if err != nil {
-		return 0, err
+	var gao []string
+	var inSkel []bool
+	var atoms []core.AtomIndex
+	if p := e.Opts.Plan; p != nil {
+		gao, atoms = p.GAO, p.Atoms
+		inSkel = p.InSkel
+		if inSkel == nil {
+			inSkel = make([]bool, len(q.Atoms))
+			for i := range inSkel {
+				inSkel[i] = true
+			}
+		}
+	} else {
+		if err := q.Validate(); err != nil {
+			return 0, err
+		}
+		var err error
+		gao, inSkel, _, err = resolvePlan(q, e.Opts)
+		if err != nil {
+			return 0, err
+		}
+		atoms, err = core.BindAtoms(q, db, gao)
+		if err != nil {
+			return 0, err
+		}
 	}
 	maxArity := 0
 	for i, a := range atoms {
@@ -128,11 +151,22 @@ func (e Engine) run(ctx context.Context, q *query.Query, db *core.DB, emit func(
 	if emit == nil && !e.Opts.DisableCountMemo {
 		ex.counter = newCounter(ex, q, gao)
 	}
-	err = ex.loop()
+	err := ex.loop()
+	ex.stats.FreeTupleSteps = int64(ex.cds.Steps())
+	ex.stats.Outputs = ex.total
 	if e.Opts.Stats != nil {
-		ex.stats.FreeTupleSteps = int64(ex.cds.Steps())
-		ex.stats.Outputs = ex.total
 		e.Opts.Stats.add(ex.stats)
+	}
+	if sc := e.Opts.Collector; sc != nil {
+		sc.Add(core.Stats{
+			Outputs:        ex.stats.Outputs,
+			Probes:         ex.stats.Probes,
+			ProbeMemoHits:  ex.stats.ProbeMemoHits,
+			Constraints:    ex.stats.Constraints,
+			FreeTupleSteps: ex.stats.FreeTupleSteps,
+			ReuseHits:      ex.stats.ReuseHits,
+			MemoStores:     ex.stats.MemoStores,
+		})
 	}
 	if err != nil {
 		return 0, err
@@ -140,12 +174,20 @@ func (e Engine) run(ctx context.Context, q *query.Query, db *core.DB, emit func(
 	return ex.total, nil
 }
 
+// ResolvePlan picks the GAO and skeleton (§4.8, §4.9) without executing:
+// the compilation half of the engine, exposed so prepared-query compilation
+// can run it exactly once and pin the result. betaCyclic reports whether the
+// query needed a proper skeleton split.
+func ResolvePlan(q *query.Query, opts Options) (gao []string, inSkel []bool, betaCyclic bool, err error) {
+	return resolvePlan(q, opts)
+}
+
 // resolvePlan picks the GAO and skeleton (§4.8, §4.9). A user-provided GAO
 // keeps all atoms in the skeleton when it satisfies the chain condition or
 // when the query is β-acyclic anyway (Table 4 runs non-NEO orders through
 // the cache-free fallback); for β-cyclic queries a greedy chain-valid subset
 // is used unless Idea 7 is disabled.
-func resolvePlan(q *query.Query, opts Options) (gao []string, inSkel []bool, err error) {
+func resolvePlan(q *query.Query, opts Options) (gao []string, inSkel []bool, betaCyclic bool, err error) {
 	all := func() []bool {
 		s := make([]bool, len(q.Atoms))
 		for i := range s {
@@ -156,20 +198,20 @@ func resolvePlan(q *query.Query, opts Options) (gao []string, inSkel []bool, err
 	if opts.GAO == nil {
 		plan, err := hypergraph.PlanQuery(q)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 		if opts.DisableSkeleton || !plan.BetaCyclic {
-			return plan.GAO, all(), nil
+			return plan.GAO, all(), plan.BetaCyclic, nil
 		}
 		inSkel = make([]bool, len(q.Atoms))
 		for _, i := range plan.Skeleton {
 			inSkel[i] = true
 		}
-		return plan.GAO, inSkel, nil
+		return plan.GAO, inSkel, true, nil
 	}
 	gao = opts.GAO
 	if len(gao) != q.NumVars() {
-		return nil, nil, fmt.Errorf("minesweeper: GAO %v does not cover the %d query variables", gao, q.NumVars())
+		return nil, nil, false, fmt.Errorf("minesweeper: GAO %v does not cover the %d query variables: %w", gao, q.NumVars(), core.ErrUnboundVar)
 	}
 	seen := make(map[string]bool, len(gao))
 	for _, v := range gao {
@@ -177,16 +219,17 @@ func resolvePlan(q *query.Query, opts Options) (gao []string, inSkel []bool, err
 	}
 	for _, v := range q.Vars() {
 		if !seen[v] {
-			return nil, nil, fmt.Errorf("minesweeper: GAO %v misses variable %q", gao, v)
+			return nil, nil, false, fmt.Errorf("minesweeper: GAO %v misses variable %q: %w", gao, v, core.ErrUnboundVar)
 		}
 	}
+	_, betaAcyclic := hypergraph.FindChainGAO(q.Vars(), q.Atoms)
 	if opts.DisableSkeleton || hypergraph.IsChainGAO(gao, q.Atoms) {
-		return gao, all(), nil
+		return gao, all(), !betaAcyclic, nil
 	}
-	if _, betaAcyclic := hypergraph.FindChainGAO(q.Vars(), q.Atoms); betaAcyclic {
+	if betaAcyclic {
 		// β-acyclic query under a non-NEO order: constraints from every atom,
 		// with cache-free fixpoints where chains break.
-		return gao, all(), nil
+		return gao, all(), false, nil
 	}
 	inSkel = make([]bool, len(q.Atoms))
 	var kept []query.Atom
@@ -197,7 +240,7 @@ func resolvePlan(q *query.Query, opts Options) (gao []string, inSkel []bool, err
 			inSkel[i] = true
 		}
 	}
-	return gao, inSkel, nil
+	return gao, inSkel, true, nil
 }
 
 // loop is Minesweeper's outer algorithm (Algorithm 3) with Ideas 2, 4, 7 and

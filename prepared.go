@@ -1,0 +1,231 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"strings"
+
+	"repro/internal/agm"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Prepared is a compiled query pinned against a graph's physical design:
+// Prepare validates the query once, fixes the global attribute order, binds
+// the GAO-consistent indexes (§4.1), and selects the engine — so every
+// subsequent Count, Enumerate, or Rows call is pure execution. This is the
+// lifecycle the paper assumes of LogicBlox: plan once against a fixed
+// physical design, execute repeatedly (including under the §3 incremental-
+// maintenance workloads).
+//
+// A Prepared handle is safe for concurrent use: the plan is immutable, every
+// execution builds its own iterator and memo state, and the stats collector
+// is synchronized. The handle keeps the physical design it was compiled
+// against — mutating the graph afterwards (SetSelectivity, SetSamples, view
+// maintenance) does not re-point existing handles; Prepare again to pick up
+// the new design. The underlying plan cache makes re-preparing an unchanged
+// shape cheap.
+type Prepared struct {
+	g    *Graph
+	q    *Query
+	alg  string
+	eng  core.Engine
+	plan *core.Plan
+	sc   *core.StatsCollector
+}
+
+// Prepare compiles the query against this graph for the configured engine.
+// For the plan-aware algorithms (lftj, ms, genericjoin) the compiled plan is
+// cached on the graph's database — keyed on query shape × algorithm × GAO
+// and invalidated when a relation it reads is replaced — so preparing the
+// same shape twice reuses the first compilation.
+func (g *Graph) Prepare(q *Query, opts Options) (*Prepared, error) {
+	sc := &core.StatsCollector{}
+	engOpts := opts.engineOptions()
+	engOpts.Stats = sc
+	eng, plan, err := engine.Prepare(engOpts, q, g.db)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		g:    g,
+		q:    q,
+		alg:  string(engOpts.Algorithm),
+		eng:  eng,
+		plan: plan,
+		sc:   sc,
+	}, nil
+}
+
+// Query returns the compiled query.
+func (p *Prepared) Query() *Query { return p.q }
+
+// Algorithm returns the engine the query was compiled for.
+func (p *Prepared) Algorithm() string { return p.alg }
+
+// Count executes the compiled plan and returns the number of result tuples.
+func (p *Prepared) Count(ctx context.Context) (int64, error) {
+	return p.eng.Count(ctx, p.q, p.g.db)
+}
+
+// Enumerate executes the compiled plan, streaming result tuples with
+// bindings in q.Vars() order; emit returns false to stop early. The tuple
+// slice is reused between calls — copy it to retain it.
+func (p *Prepared) Enumerate(ctx context.Context, emit func([]int64) bool) error {
+	return p.eng.Enumerate(ctx, p.q, p.g.db, emit)
+}
+
+// Rows executes the compiled plan as a streaming iterator over result
+// tuples, with bindings in q.Vars() order. Each yielded slice is a fresh
+// copy owned by the consumer. Breaking out of the range stops execution
+// early. The sequence ends early if ctx is cancelled or the engine fails
+// mid-stream; Rows discards that error, so callers that must distinguish a
+// complete stream from a truncated one should use RowsErr (or Enumerate).
+// For the compiled engines the only mid-stream failure is cancellation, so
+// checking ctx.Err() after the loop suffices there; engines with runtime
+// budgets (e.g. the pairwise baselines' MaxRows) can fail for other
+// reasons.
+func (p *Prepared) Rows(ctx context.Context) iter.Seq[[]int64] {
+	return func(yield func([]int64) bool) {
+		_ = p.eng.Enumerate(ctx, p.q, p.g.db, func(t []int64) bool {
+			return yield(append([]int64(nil), t...))
+		})
+	}
+}
+
+// RowsErr is Rows with an explicit error: it yields (tuple, nil) for every
+// result and, if execution fails mid-stream, a final (nil, err) pair.
+func (p *Prepared) RowsErr(ctx context.Context) iter.Seq2[[]int64, error] {
+	return func(yield func([]int64, error) bool) {
+		stopped := false
+		err := p.eng.Enumerate(ctx, p.q, p.g.db, func(t []int64) bool {
+			ok := yield(append([]int64(nil), t...), nil)
+			stopped = !ok
+			return ok
+		})
+		if err != nil && !stopped {
+			yield(nil, err)
+		}
+	}
+}
+
+// Stats returns a snapshot of the unified execution counters accumulated by
+// this handle: the planning block (plan-cache hits/misses, GAO derivations,
+// index bindings) moves only at Prepare time; the execution block and the
+// engine-specific counters accumulate across every Count/Enumerate/Rows run,
+// for every engine.
+func (p *Prepared) Stats() ExecStats { return p.sc.Snapshot() }
+
+// AtomPlan describes how one query atom is physically bound in a compiled
+// plan.
+type AtomPlan struct {
+	// Atom is the atom's source form, e.g. "edge(a, b)".
+	Atom string
+	// Index is the GAO-consistent index serving the atom: the relation with
+	// its columns in GAO order.
+	Index string
+	// Rows is the index's tuple count.
+	Rows int
+	// InSkeleton reports membership in Minesweeper's §4.9 skeleton (always
+	// true for engines without a skeleton notion).
+	InSkeleton bool
+}
+
+// Explanation describes a compiled query: the fixed attribute order, the
+// per-atom physical indexes, and the AGM worst-case output bound the
+// worst-case-optimal engines are optimal against.
+type Explanation struct {
+	// Query is the query's source form.
+	Query string
+	// Algorithm is the selected engine.
+	Algorithm string
+	// Planned reports whether the engine executes a pinned compiled plan;
+	// engines without a plan representation re-derive state per run.
+	Planned bool
+	// GAO is the resolved global attribute order (nil when not Planned).
+	GAO []string
+	// BetaCyclic reports whether the query needed Minesweeper's skeleton
+	// split (and drives the §4.10 parallel-granularity default).
+	BetaCyclic bool
+	// Atoms describes each atom's physical binding (nil when not Planned).
+	Atoms []AtomPlan
+	// AGMBound is the Atserias–Grohe–Marx worst-case output bound on this
+	// graph's relation sizes (0 when the LP is unavailable for the query).
+	AGMBound float64
+}
+
+// String renders the explanation in a compact plan-tree-like layout.
+func (e Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %s\n", e.Query)
+	fmt.Fprintf(&b, "engine %s", e.Algorithm)
+	if !e.Planned {
+		b.WriteString(" (unplanned: state derived per run)\n")
+	} else {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "gao %s", strings.Join(e.GAO, " < "))
+		if e.BetaCyclic {
+			b.WriteString("  [beta-cyclic]")
+		}
+		b.WriteString("\n")
+		for _, a := range e.Atoms {
+			skel := ""
+			if !a.InSkeleton {
+				skel = "  [off-skeleton]"
+			}
+			fmt.Fprintf(&b, "  %-24s -> %s (%d tuples)%s\n", a.Atom, a.Index, a.Rows, skel)
+		}
+	}
+	if e.AGMBound > 0 {
+		fmt.Fprintf(&b, "agm bound %.4g\n", e.AGMBound)
+	}
+	return b.String()
+}
+
+// Explain describes the compiled plan.
+func (p *Prepared) Explain() Explanation {
+	e := Explanation{
+		Query:     p.q.String(),
+		Algorithm: p.alg,
+	}
+	if sizes, err := relationSizes(p.g, p.q); err == nil {
+		if res, err := agm.Compute(p.q, sizes); err == nil {
+			e.AGMBound = res.Bound()
+		}
+	}
+	plan := p.plan
+	if plan == nil {
+		return e
+	}
+	e.Planned = true
+	e.GAO = append([]string(nil), plan.GAO...)
+	e.BetaCyclic = plan.BetaCyclic
+	for i, a := range plan.Atoms {
+		cols := make([]string, len(a.VarPos))
+		for k, pos := range a.VarPos {
+			cols[k] = plan.GAO[pos]
+		}
+		ap := AtomPlan{
+			Atom:       p.q.Atoms[i].String(),
+			Index:      fmt.Sprintf("%s(%s)", p.q.Atoms[i].Rel, strings.Join(cols, ", ")),
+			Rows:       a.Rel.Len(),
+			InSkeleton: plan.InSkel == nil || plan.InSkel[i],
+		}
+		e.Atoms = append(e.Atoms, ap)
+	}
+	return e
+}
+
+// relationSizes collects each atom's relation cardinality.
+func relationSizes(g *Graph, q *Query) ([]int, error) {
+	sizes := make([]int, len(q.Atoms))
+	for i, a := range q.Atoms {
+		r, err := g.db.Relation(a.Rel)
+		if err != nil {
+			return nil, err
+		}
+		sizes[i] = r.Len()
+	}
+	return sizes, nil
+}
