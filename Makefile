@@ -1,0 +1,48 @@
+# Join Processing for Graph Patterns — development targets mirroring the CI
+# jobs (.github/workflows/ci.yml), so "it passed make" and "it passed CI"
+# mean the same thing.
+
+.PHONY: help build test race lint bench bench-smoke clean
+
+help:
+	@echo "Available targets:"
+	@echo ""
+	@echo "  make build        - Compile every package and command"
+	@echo "  make test         - Run the full test suite"
+	@echo "  make race         - Run the test suite under the race detector"
+	@echo "  make lint         - gofmt check + go vet + staticcheck (if installed)"
+	@echo "  make bench        - Run all benchmarks (both index backends)"
+	@echo "  make bench-smoke  - Run every benchmark once (the CI smoke job)"
+	@echo "  make clean        - Drop build artifacts and the test cache"
+	@echo ""
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+	go vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck -checks "SA*" ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+bench:
+	go test -bench . -benchmem -run '^$$' ./...
+
+bench-smoke:
+	@go test -bench . -benchtime=1x -run '^$$' ./... > bench-smoke.txt 2>&1; \
+	status=$$?; cat bench-smoke.txt; exit $$status
+
+clean:
+	rm -f bench-smoke.txt *.prof
+	go clean -testcache

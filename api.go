@@ -159,6 +159,12 @@ type Options struct {
 	Granularity int
 	// GAO overrides the global attribute order (Table 4 experiments).
 	GAO []string
+	// Backend selects the physical index backend for the trie-driven
+	// engines (lftj, ms): "flat" (the default — binary search over the
+	// sorted rows, no extra memory) or "csr" (materialized CSR trie levels,
+	// built once per index at Prepare time, with O(1) child-range resolution
+	// on the join hot path). Other engines ignore it.
+	Backend string
 	// Idea toggles for the ablation experiments (all ideas default on).
 	DisableProbeMemo  bool // Idea 4
 	DisableComplete   bool // Idea 6
@@ -178,6 +184,7 @@ func (o Options) engineOptions() engine.Options {
 		Workers:     o.Workers,
 		Granularity: o.Granularity,
 		GAO:         o.GAO,
+		Backend:     core.Backend(o.Backend),
 		MaxRows:     o.MaxRows,
 		MS: minesweeper.Options{
 			DisableMemo:      o.DisableProbeMemo,

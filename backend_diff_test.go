@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// corpusQueries is the full named-query corpus the CLI and benchmarks use —
+// every pattern shape of the paper's §5.1 evaluation.
+func corpusQueries() []*Query {
+	return []*Query{
+		query.Clique(3),
+		query.Clique(4),
+		query.Cycle(4),
+		query.Path(3),
+		query.Path(4),
+		query.Tree(1),
+		query.Tree(2),
+		query.Comb(),
+		query.Lollipop(2),
+		query.Lollipop(3),
+	}
+}
+
+func sortedRows(rows [][]int64) {
+	sort.Slice(rows, func(i, j int) bool {
+		return relation.CompareTuples(rows[i], rows[j]) < 0
+	})
+}
+
+// TestBackendDifferential runs every corpus query under both trie-driven
+// engines on both index backends and requires identical counts and identical
+// enumerated result sets — the flat backend is the reference implementation
+// the CSR backend must reproduce exactly.
+func TestBackendDifferential(t *testing.T) {
+	ctx := context.Background()
+	g := GenerateGraph(HolmeKim, 250, 900, 3)
+	g.SetSelectivity(25, 5)
+	for _, q := range corpusQueries() {
+		for _, alg := range []string{"lftj", "ms"} {
+			t.Run(fmt.Sprintf("%s/%s", q.Name, alg), func(t *testing.T) {
+				var counts []int64
+				var rows [][][]int64
+				for _, backend := range []string{"flat", "csr"} {
+					p, err := g.Prepare(q, Options{Algorithm: alg, Workers: 1, Backend: backend})
+					if err != nil {
+						t.Fatalf("%s prepare: %v", backend, err)
+					}
+					if got := p.Explain().Backend; got != backend {
+						t.Fatalf("Explain reports backend %q, want %q", got, backend)
+					}
+					n, err := p.Count(ctx)
+					if err != nil {
+						t.Fatalf("%s count: %v", backend, err)
+					}
+					var rs [][]int64
+					err = p.Enumerate(ctx, func(tuple []int64) bool {
+						rs = append(rs, append([]int64(nil), tuple...))
+						return true
+					})
+					if err != nil {
+						t.Fatalf("%s enumerate: %v", backend, err)
+					}
+					if int64(len(rs)) != n {
+						t.Fatalf("%s: count %d != enumerated %d", backend, n, len(rs))
+					}
+					sortedRows(rs)
+					counts = append(counts, n)
+					rows = append(rows, rs)
+				}
+				if counts[0] != counts[1] {
+					t.Fatalf("count mismatch: flat %d, csr %d", counts[0], counts[1])
+				}
+				for i := range rows[0] {
+					if relation.CompareTuples(rows[0][i], rows[1][i]) != 0 {
+						t.Fatalf("row %d mismatch: flat %v, csr %v", i, rows[0][i], rows[1][i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBackendParallelDifferential checks the partitioned §4.10 count path on
+// the CSR backend against the sequential flat reference.
+func TestBackendParallelDifferential(t *testing.T) {
+	ctx := context.Background()
+	g := GenerateGraph(BarabasiAlbert, 2000, 10000, 11)
+	q := Triangles()
+	want, err := Count(ctx, g, q, Options{Algorithm: "lftj", Workers: 1, Backend: "flat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"lftj", "ms"} {
+		got, err := Count(ctx, g, q, Options{Algorithm: alg, Workers: 4, Granularity: 8, Backend: "csr"})
+		if err != nil {
+			t.Fatalf("%s/csr parallel: %v", alg, err)
+		}
+		if got != want {
+			t.Errorf("%s/csr parallel count = %d, want %d", alg, got, want)
+		}
+	}
+}
+
+// TestBackendPlanCaching pins the backend as a plan-cache dimension: the
+// same shape prepared under both backends compiles twice, and re-preparing
+// either hits its cached plan.
+func TestBackendPlanCaching(t *testing.T) {
+	g := GenerateGraph(ErdosRenyi, 200, 600, 1)
+	q := Triangles()
+	before := g.DB().CachedPlanCount()
+	for _, backend := range []string{"flat", "csr"} {
+		if _, err := g.Prepare(q, Options{Algorithm: "lftj", Backend: backend}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.DB().CachedPlanCount() - before; got != 2 {
+		t.Errorf("expected 2 cached plans (one per backend), got %d", got)
+	}
+	p, err := g.Prepare(q, Options{Algorithm: "lftj", Backend: "csr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.PlanCacheHits != 1 {
+		t.Errorf("re-prepare under csr: PlanCacheHits = %d, want 1", st.PlanCacheHits)
+	}
+}
+
+// TestBackendUnknown rejects a misspelled backend at Prepare time.
+func TestBackendUnknown(t *testing.T) {
+	g := GenerateGraph(ErdosRenyi, 50, 100, 1)
+	if _, err := g.Prepare(Triangles(), Options{Algorithm: "lftj", Backend: "btree"}); err == nil {
+		t.Error("unknown backend should fail Prepare")
+	}
+}

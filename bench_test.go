@@ -231,6 +231,54 @@ func BenchmarkPreparedReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkBackend contrasts the two index backends on the worst-case-
+// optimal hot path: triangle and 4-clique counting with prepared plans, so
+// the measured loop is pure join execution. The CSR backend materializes
+// each trie level once at Prepare time; flat re-derives child ranges by
+// binary search on every cursor operation.
+func BenchmarkBackend(b *testing.B) {
+	ctx := context.Background()
+	g := benchGraph(b, dataset.HolmeKim, 5000, 29000, 1)
+	for _, q := range []*Query{Cliques(3), Cliques(4)} {
+		for _, backend := range []string{"flat", "csr"} {
+			p, err := g.Prepare(q, Options{Algorithm: "lftj", Workers: 1, Backend: backend})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", q.Name, backend), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Count(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBackendProbes contrasts the backends under Minesweeper's gap-
+// probe access pattern (LUB/GLB probes instead of leapfrog seeks).
+func BenchmarkBackendProbes(b *testing.B) {
+	ctx := context.Background()
+	g := benchGraph(b, dataset.HolmeKim, 5000, 29000, 1)
+	q := Cliques(3)
+	for _, backend := range []string{"flat", "csr"} {
+		p, err := g.Prepare(q, Options{Algorithm: "ms", Workers: 1, Backend: backend})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(backend, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Count(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAGMBound measures the fractional-edge-cover LP solve.
 func BenchmarkAGMBound(b *testing.B) {
 	g := benchGraph(b, dataset.BarabasiAlbert, 1000, 5000, 1)

@@ -29,6 +29,36 @@
 // helpers (Count, Enumerate, CountWithStats) remain as thin wrappers over
 // Prepare.
 //
+// # Storage and index backends
+//
+// Relations are immutable, lexicographically sorted tuple sets over int64
+// domains (internal/relation). Every atom of a compiled query is bound to a
+// GAO-consistent index — the relation with its columns permuted into global
+// attribute order (§4.1) — and those indexes are served through a pluggable
+// backend (Options.Backend) implementing the trie contract the paper's
+// engines assume:
+//
+//   - "flat" (default) — the sorted rows themselves; trie-cursor moves and
+//     Minesweeper's LUB/GLB gap probes re-derive child ranges by binary
+//     search over row ranges on each operation. Zero extra memory and build
+//     cost; the reference implementation the other backends are
+//     differential-tested against.
+//   - "csr" — a materialized CSR attribute trie (one contiguous key array
+//     per level plus child-offset arrays, the TrieJax/EmptyHeaded layout):
+//     cursor Open/Next are O(1) array arithmetic, SeekGE gallops over a
+//     dense cache-resident array, and gap probes run one bounded binary
+//     search per level. Built once per index at Prepare time (cached on the
+//     graph, invalidated when the relation changes) for up to arity·n extra
+//     keys of memory.
+//
+// Pick "csr" when a prepared query is executed repeatedly or the join is
+// seek-bound (cliques and cycles on power-law graphs); stay with "flat" for
+// one-shot queries, frequently updated relations (incremental views bind
+// flat indexes for exactly that reason), or memory-tight settings.
+// BenchmarkBackend in bench_test.go tracks the speedup; both backends must
+// produce identical results on the whole query corpus
+// (backend_diff_test.go).
+//
 // # Engines
 //
 //   - "lftj" — Leapfrog Triejoin, worst-case optimal (paper §2.2);

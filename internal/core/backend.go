@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Backend names a physical trie-index implementation. The paper's engines
+// (§4.1) are defined against an abstract trie/B-tree index; this reproduction
+// offers two interchangeable realizations of that contract so they can be
+// differential-tested and benchmarked against each other.
+type Backend string
+
+const (
+	// BackendFlat is the reference backend: the sorted flat relation itself,
+	// with child ranges re-derived by binary search over row ranges on every
+	// cursor operation. Zero extra memory, zero build cost beyond the sort.
+	BackendFlat Backend = "flat"
+	// BackendCSR materializes each trie level as contiguous key+offset
+	// arrays at index-build time (relation.CSRTrie): cursor Open/Next become
+	// O(1), SeekGE gallops over a dense array, and Minesweeper's gap probes
+	// run one bounded binary search per level. Costs one extra O(arity · n)
+	// build pass and up to arity·n keys of memory per index.
+	BackendCSR Backend = "csr"
+)
+
+// DefaultBackend is used when no backend is selected. The flat backend stays
+// the default because it is the reference implementation; workloads that
+// execute a prepared query repeatedly should select BackendCSR.
+const DefaultBackend = BackendFlat
+
+// ParseBackend resolves a user-supplied backend name; empty selects
+// DefaultBackend.
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case "":
+		return DefaultBackend, nil
+	case BackendFlat:
+		return BackendFlat, nil
+	case BackendCSR:
+		return BackendCSR, nil
+	}
+	return "", fmt.Errorf("core: unknown index backend %q (want %q or %q)", s, BackendFlat, BackendCSR)
+}
+
+// TrieCursor is the per-execution iteration handle over one GAO-consistent
+// index, with the trie contract Leapfrog Triejoin is defined against
+// (paper §2.2): Open descends to the first child of the current node, Up
+// pops back, Next/SeekGE move within the current level in increasing key
+// order (no-ops at the end of a level; callers check AtEnd). Cursors are
+// single-goroutine; obtain a fresh one per execution from the index.
+type TrieCursor interface {
+	Open()
+	Up()
+	Next()
+	SeekGE(v int64)
+	AtEnd() bool
+	Key() int64
+}
+
+// IndexBackend is one GAO-consistent physical index over a relation: the
+// trie access path (NewCursor) the worst-case-optimal engines iterate, plus
+// the least-upper-bound/greatest-lower-bound gap probe (ProbeGap, the
+// paper's seekGap from Algorithm 3) Minesweeper drives. Implementations are
+// immutable and safe for concurrent executions.
+type IndexBackend interface {
+	// Backend identifies the implementation.
+	Backend() Backend
+	// Arity returns the number of indexed attributes.
+	Arity() int
+	// Len returns the number of tuples.
+	Len() int
+	// NewCursor returns a fresh trie cursor positioned at the root.
+	NewCursor() TrieCursor
+	// ProbeGap probes with a full-arity point: found == true when the tuple
+	// is present, else the maximal empty gap box around the point (§4.5).
+	ProbeGap(point []int64) (relation.Gap, bool)
+}
+
+// flatIndex adapts the sorted relation itself as an IndexBackend.
+type flatIndex struct {
+	r *relation.Relation
+}
+
+func (f flatIndex) Backend() Backend      { return BackendFlat }
+func (f flatIndex) Arity() int            { return f.r.Arity() }
+func (f flatIndex) Len() int              { return f.r.Len() }
+func (f flatIndex) NewCursor() TrieCursor { return relation.NewTrieIterator(f.r) }
+func (f flatIndex) ProbeGap(point []int64) (relation.Gap, bool) {
+	return f.r.ProbeGap(point)
+}
+
+// csrIndex adapts a materialized CSR trie as an IndexBackend.
+type csrIndex struct {
+	t *relation.CSRTrie
+}
+
+func (c csrIndex) Backend() Backend      { return BackendCSR }
+func (c csrIndex) Arity() int            { return c.t.Arity() }
+func (c csrIndex) Len() int              { return c.t.Len() }
+func (c csrIndex) NewCursor() TrieCursor { return relation.NewCSRCursor(c.t) }
+func (c csrIndex) ProbeGap(point []int64) (relation.Gap, bool) {
+	return c.t.ProbeGap(point)
+}
+
+// NewIndexBackend wraps an already GAO-consistent relation in the chosen
+// backend (building the CSR trie for BackendCSR). The DB's TrieIndex method
+// is the caching entry point; this constructor serves callers that manage
+// relations directly.
+func NewIndexBackend(r *relation.Relation, backend Backend) (IndexBackend, error) {
+	switch backend {
+	case "", BackendFlat:
+		return flatIndex{r: r}, nil
+	case BackendCSR:
+		return csrIndex{t: relation.NewCSRTrie(r)}, nil
+	}
+	return nil, fmt.Errorf("core: unknown index backend %q", backend)
+}

@@ -37,6 +37,7 @@ type DB struct {
 	mu      sync.Mutex
 	rels    map[string]*relation.Relation
 	indexes map[string]*relation.Relation
+	tries   map[string]IndexBackend
 	plans   map[string]*Plan
 	// version increments on every Add; plan compilation snapshots it so a
 	// plan bound against relations that were replaced mid-compile is never
@@ -49,6 +50,7 @@ func NewDB() *DB {
 	return &DB{
 		rels:    make(map[string]*relation.Relation),
 		indexes: make(map[string]*relation.Relation),
+		tries:   make(map[string]IndexBackend),
 		plans:   make(map[string]*Plan),
 	}
 }
@@ -65,6 +67,11 @@ func (db *DB) Add(r *relation.Relation) {
 	for k := range db.indexes {
 		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
 			delete(db.indexes, k)
+		}
+	}
+	for k := range db.tries {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			delete(db.tries, k)
 		}
 	}
 	for k, p := range db.plans {
@@ -100,12 +107,21 @@ func (db *DB) Names() []string {
 // re-sorted, caching the result. perm[k] is the source column stored at
 // output position k.
 func (db *DB) Index(name string, perm []int) (*relation.Relation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.indexLocked(name, perm)
+}
+
+func indexKey(name string, perm []int) string {
 	key := name + "/"
 	for _, p := range perm {
 		key += strconv.Itoa(p) + ","
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return key
+}
+
+func (db *DB) indexLocked(name string, perm []int) (*relation.Relation, error) {
+	key := indexKey(name, perm)
 	if idx, ok := db.indexes[key]; ok {
 		return idx, nil
 	}
@@ -115,6 +131,34 @@ func (db *DB) Index(name string, perm []int) (*relation.Relation, error) {
 	}
 	idx := r.Permute(perm)
 	db.indexes[key] = idx
+	return idx, nil
+}
+
+// TrieIndex returns the named relation's GAO-consistent index under the
+// chosen backend, caching the built index alongside the permuted relation
+// (both caches are invalidated per relation by Add). The flat backend wraps
+// the permuted relation directly; the CSR backend additionally materializes
+// its trie levels here, so the build cost is paid once per
+// relation × permutation × backend and amortized across executions.
+func (db *DB) TrieIndex(name string, perm []int, backend Backend) (IndexBackend, error) {
+	if backend == "" {
+		backend = DefaultBackend
+	}
+	key := indexKey(name, perm) + "#" + string(backend)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if idx, ok := db.tries[key]; ok {
+		return idx, nil
+	}
+	rel, err := db.indexLocked(name, perm)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := NewIndexBackend(rel, backend)
+	if err != nil {
+		return nil, err
+	}
+	db.tries[key] = idx
 	return idx, nil
 }
 
@@ -132,14 +176,20 @@ type Engine interface {
 // variables sorted by GAO position, the permutation applied, and the global
 // GAO positions of its columns in index order.
 type AtomIndex struct {
+	// Rel is the permuted flat relation — always present, for engines that
+	// need row-level access (generic join's span narrowing) and for plan
+	// introspection.
 	Rel *relation.Relation
+	// Index is the backend-selected trie index over Rel; the trie-driven
+	// engines (LFTJ, Minesweeper) execute exclusively against it.
+	Index IndexBackend
 	// VarPos[k] is the GAO position of the index's column k.
 	VarPos []int
 }
 
-// BindAtoms builds GAO-consistent indexes for all atoms of a query
-// (paper §4.1). gaoIndex maps variable name to GAO position.
-func BindAtoms(q *query.Query, db *DB, gao []string) ([]AtomIndex, error) {
+// BindAtoms builds GAO-consistent indexes for all atoms of a query under the
+// chosen backend (paper §4.1). gaoIndex maps variable name to GAO position.
+func BindAtoms(q *query.Query, db *DB, gao []string, backend Backend) ([]AtomIndex, error) {
 	pos := make(map[string]int, len(gao))
 	for i, v := range gao {
 		pos[v] = i
@@ -157,6 +207,10 @@ func BindAtoms(q *query.Query, db *DB, gao []string) ([]AtomIndex, error) {
 		if err != nil {
 			return nil, err
 		}
+		trie, err := db.TrieIndex(a.Rel, order, backend)
+		if err != nil {
+			return nil, err
+		}
 		varPos := make([]int, len(order))
 		for k, col := range order {
 			p, ok := pos[a.Vars[col]]
@@ -165,7 +219,7 @@ func BindAtoms(q *query.Query, db *DB, gao []string) ([]AtomIndex, error) {
 			}
 			varPos[k] = p
 		}
-		out[i] = AtomIndex{Rel: idx, VarPos: varPos}
+		out[i] = AtomIndex{Rel: idx, Index: trie, VarPos: varPos}
 	}
 	return out, nil
 }

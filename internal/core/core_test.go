@@ -70,7 +70,7 @@ func TestBindAtoms(t *testing.T) {
 	// GAO c,b,a: the first atom's index order must become (b,a), the
 	// second's (c,b) -> wait: positions c=0,b=1,a=2, so atom1 (a,b) sorts to
 	// (b,a) and atom2 (b,c) sorts to (c,b).
-	atoms, err := BindAtoms(q, db, []string{"c", "b", "a"})
+	atoms, err := BindAtoms(q, db, []string{"c", "b", "a"}, BackendFlat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestBindAtoms(t *testing.T) {
 		t.Errorf("atom0 index tuple = %v", atoms[0].Rel.Tuple(0))
 	}
 	// A GAO missing a variable fails.
-	if _, err := BindAtoms(q, db, []string{"a", "b"}); err == nil {
+	if _, err := BindAtoms(q, db, []string{"a", "b"}, BackendFlat); err == nil {
 		t.Error("short GAO should fail")
 	}
 }

@@ -21,6 +21,8 @@ type Plan struct {
 	Algorithm string
 	// GAO is the resolved global attribute order.
 	GAO []string
+	// Backend is the index backend every atom is bound under.
+	Backend Backend
 	// Atoms holds the GAO-consistent index binding of each query atom, in
 	// q.Atoms order.
 	Atoms []AtomIndex
@@ -42,15 +44,17 @@ func (p *Plan) reads(rel string) bool {
 	return false
 }
 
-// PlanKey builds the plan-cache key for a query shape under one algorithm
-// and (possibly empty) user-supplied GAO. variant distinguishes compilations
-// of the same shape that planner toggles would change (e.g. Minesweeper with
-// the skeleton idea disabled).
-func PlanKey(algorithm, variant string, userGAO []string, q *query.Query) string {
+// PlanKey builds the plan-cache key for a query shape under one algorithm,
+// index backend, and (possibly empty) user-supplied GAO. variant
+// distinguishes compilations of the same shape that planner toggles would
+// change (e.g. Minesweeper with the skeleton idea disabled).
+func PlanKey(algorithm, variant string, backend Backend, userGAO []string, q *query.Query) string {
 	var b strings.Builder
 	b.WriteString(algorithm)
 	b.WriteByte('|')
 	b.WriteString(variant)
+	b.WriteByte('|')
+	b.WriteString(string(backend))
 	b.WriteByte('|')
 	b.WriteString(strings.Join(userGAO, ","))
 	b.WriteByte('|')
@@ -105,18 +109,22 @@ func (db *DB) CachedPlanCount() int {
 }
 
 // NewPlan compiles a query for an engine: validates it, checks the GAO
-// covers every variable, binds the GAO-consistent indexes, and verifies
-// atom/relation arity agreement. Counters for the work performed are added
-// to sc (which may be nil). NewPlan does not consult the plan cache — see
-// the engine package for the cached compilation entry point.
-func NewPlan(q *query.Query, db *DB, algorithm string, gao []string, inSkel []bool, betaCyclic bool, sc *StatsCollector) (*Plan, error) {
+// covers every variable, binds the GAO-consistent indexes under the chosen
+// backend, and verifies atom/relation arity agreement. Counters for the work
+// performed are added to sc (which may be nil). NewPlan does not consult the
+// plan cache — see the engine package for the cached compilation entry
+// point.
+func NewPlan(q *query.Query, db *DB, algorithm string, gao []string, inSkel []bool, betaCyclic bool, backend Backend, sc *StatsCollector) (*Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if len(gao) != q.NumVars() {
 		return nil, fmt.Errorf("core: GAO %v does not cover the %d query variables: %w", gao, q.NumVars(), ErrUnboundVar)
 	}
-	atoms, err := BindAtoms(q, db, gao)
+	if backend == "" {
+		backend = DefaultBackend
+	}
+	atoms, err := BindAtoms(q, db, gao, backend)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +138,7 @@ func NewPlan(q *query.Query, db *DB, algorithm string, gao []string, inSkel []bo
 		Query:      q,
 		Algorithm:  algorithm,
 		GAO:        gao,
+		Backend:    backend,
 		Atoms:      atoms,
 		InSkel:     inSkel,
 		BetaCyclic: betaCyclic,

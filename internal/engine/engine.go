@@ -65,6 +65,9 @@ type Options struct {
 	MS minesweeper.Options
 	// GAO overrides the attribute order for LFTJ and Minesweeper.
 	GAO []string
+	// Backend selects the index backend for the trie-driven engines (LFTJ,
+	// Minesweeper): core.BackendFlat (the default) or core.BackendCSR.
+	Backend core.Backend
 	// MaxRows caps pairwise-engine intermediates.
 	MaxRows int
 	// Plan, when set, is a compiled plan the engine executes directly
@@ -148,11 +151,14 @@ func (p *parallel) Name() string { return string(p.opts.Algorithm) }
 
 func (p *parallel) single() core.Engine {
 	if p.opts.Algorithm == LFTJ {
-		return lftj.Engine{Opts: lftj.Options{GAO: p.gao(), Plan: p.opts.Plan, Stats: p.opts.Stats}}
+		return lftj.Engine{Opts: lftj.Options{GAO: p.gao(), Backend: p.opts.Backend, Plan: p.opts.Plan, Stats: p.opts.Stats}}
 	}
 	ms := p.opts.MS
 	if ms.GAO == nil {
 		ms.GAO = p.opts.GAO
+	}
+	if ms.Backend == "" {
+		ms.Backend = p.opts.Backend
 	}
 	ms.Plan = p.opts.Plan
 	ms.Collector = p.opts.Stats
@@ -249,12 +255,15 @@ func (p *parallel) Count(ctx context.Context, q *query.Query, db *core.DB) (int6
 
 func (p *parallel) rangeCount(ctx context.Context, q *query.Query, db *core.DB, lo, hi int64) (int64, error) {
 	if p.opts.Algorithm == LFTJ {
-		e := lftj.Engine{Opts: lftj.Options{GAO: p.gao(), FirstVarRange: &lftj.Range{Lo: lo, Hi: hi}, Plan: p.opts.Plan, Stats: p.opts.Stats}}
+		e := lftj.Engine{Opts: lftj.Options{GAO: p.gao(), Backend: p.opts.Backend, FirstVarRange: &lftj.Range{Lo: lo, Hi: hi}, Plan: p.opts.Plan, Stats: p.opts.Stats}}
 		return e.Count(ctx, q, db)
 	}
 	ms := p.opts.MS
 	if ms.GAO == nil {
 		ms.GAO = p.opts.GAO
+	}
+	if ms.Backend == "" {
+		ms.Backend = p.opts.Backend
 	}
 	ms.FirstVarRange = &minesweeper.Range{Lo: lo, Hi: hi}
 	ms.Plan = p.opts.Plan

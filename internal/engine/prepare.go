@@ -38,13 +38,21 @@ func Prepare(opts Options, q *query.Query, db *core.DB) (core.Engine, *core.Plan
 
 // CompilePlan resolves the GAO and binds the GAO-consistent indexes for a
 // plan-aware algorithm, consulting and populating the DB's plan cache. The
-// cache key is the query shape × algorithm × user-supplied GAO (plus planner
-// toggles that change compilation); entries are dropped when DB.Add replaces
-// a relation the plan reads.
+// cache key is the query shape × algorithm × index backend × user-supplied
+// GAO (plus planner toggles that change compilation); entries are dropped
+// when DB.Add replaces a relation the plan reads.
 func CompilePlan(opts Options, q *query.Query, db *core.DB) (*core.Plan, error) {
 	alg := opts.Algorithm
 	if alg == "" {
 		alg = LFTJ
+	}
+	backend, err := core.ParseBackend(string(opts.Backend))
+	if err != nil {
+		return nil, err
+	}
+	if alg == GenericJoin {
+		// Generic join executes over flat row spans; see genericjoin.
+		backend = core.BackendFlat
 	}
 	userGAO := opts.GAO
 	variant := ""
@@ -56,7 +64,7 @@ func CompilePlan(opts Options, q *query.Query, db *core.DB) (*core.Plan, error) 
 			variant = "noskel"
 		}
 	}
-	key := core.PlanKey(string(alg), variant, userGAO, q)
+	key := core.PlanKey(string(alg), variant, backend, userGAO, q)
 	p, version, ok := db.CachedPlan(key)
 	if ok {
 		opts.Stats.Add(core.Stats{PlanCacheHits: 1})
@@ -86,7 +94,7 @@ func CompilePlan(opts Options, q *query.Query, db *core.DB) (*core.Plan, error) 
 		betaCyclic = !acyclic
 	}
 	opts.Stats.Add(core.Stats{GAODerivations: 1})
-	plan, err := core.NewPlan(q, db, string(alg), gao, inSkel, betaCyclic, opts.Stats)
+	plan, err := core.NewPlan(q, db, string(alg), gao, inSkel, betaCyclic, backend, opts.Stats)
 	if err != nil {
 		return nil, err
 	}

@@ -62,8 +62,10 @@ func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit
 		if len(gao) != q.NumVars() {
 			return fmt.Errorf("genericjoin: GAO %v does not cover the %d query variables: %w", gao, q.NumVars(), core.ErrUnboundVar)
 		}
+		// Generic join narrows explicit row spans over the flat rows, so it
+		// always binds the flat backend regardless of plan-level selection.
 		var err error
-		atoms, err = core.BindAtoms(q, db, gao)
+		atoms, err = core.BindAtoms(q, db, gao, core.BackendFlat)
 		if err != nil {
 			return err
 		}

@@ -76,7 +76,7 @@ func NewView(ctx context.Context, q *query.Query, db *core.DB) (*View, error) {
 // runs per call because the delta relation's data changes every batch, but
 // unchanged base-relation indexes are served from the DB's index cache.
 func (v *View) run(ctx context.Context, q *query.Query) (int64, error) {
-	plan, err := core.NewPlan(q, v.db, "lftj", v.gao, nil, false, v.sc)
+	plan, err := core.NewPlan(q, v.db, "lftj", v.gao, nil, false, core.BackendFlat, v.sc)
 	if err != nil {
 		return 0, err
 	}

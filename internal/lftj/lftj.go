@@ -11,7 +11,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/query"
-	"repro/internal/relation"
 )
 
 // Range restricts the first GAO variable to [Lo, Hi); the parallel executor
@@ -25,6 +24,9 @@ type Options struct {
 	// GAO overrides the variable order; empty means the query's
 	// first-appearance order.
 	GAO []string
+	// Backend selects the index backend for the unplanned path (empty means
+	// core.DefaultBackend); a compiled Plan carries its own backend.
+	Backend core.Backend
 	// FirstVarRange restricts the first GAO variable for parallel jobs.
 	FirstVarRange *Range
 	// Plan, when set, is a compiled plan for the query: validation, GAO
@@ -71,7 +73,7 @@ func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit
 			return fmt.Errorf("lftj: GAO %v does not cover the %d query variables: %w", gao, q.NumVars(), core.ErrUnboundVar)
 		}
 		var err error
-		atoms, err = core.BindAtoms(q, db, gao)
+		atoms, err = core.BindAtoms(q, db, gao, e.Opts.Backend)
 		if err != nil {
 			return err
 		}
@@ -94,11 +96,11 @@ func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit
 	for g, v := range gao {
 		ex.outPerm[g] = idx[v]
 	}
-	// For each GAO depth, the iterators of participating atoms.
-	ex.byVar = make([][]*relation.TrieIterator, len(gao))
-	iters := make([]*relation.TrieIterator, len(atoms))
+	// For each GAO depth, the cursors of participating atoms.
+	ex.byVar = make([][]core.TrieCursor, len(gao))
+	iters := make([]core.TrieCursor, len(atoms))
 	for i, a := range atoms {
-		iters[i] = relation.NewTrieIterator(a.Rel)
+		iters[i] = a.Index.NewCursor()
 		for _, p := range a.VarPos {
 			ex.byVar[p] = append(ex.byVar[p], iters[i])
 		}
@@ -117,7 +119,7 @@ func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit
 
 type exec struct {
 	n       int
-	byVar   [][]*relation.TrieIterator
+	byVar   [][]core.TrieCursor
 	binding []int64
 	outPerm []int
 	emit    func([]int64) bool
@@ -188,7 +190,7 @@ func (ex *exec) emitTuple() bool {
 // leapfrog is the multiway sorted intersection of one trie level across the
 // participating atoms (Veldhuizen's leapfrog-init/search/next).
 type leapfrog struct {
-	its   []*relation.TrieIterator
+	its   []core.TrieCursor
 	p     int
 	key   int64
 	seeks *int64

@@ -22,6 +22,9 @@ type Options struct {
 	// GAO overrides the automatically selected global attribute order
 	// (Table 4 runs Minesweeper under explicit orders).
 	GAO []string
+	// Backend selects the index backend for the unplanned path (empty means
+	// core.DefaultBackend); a compiled Plan carries its own backend.
+	Backend core.Backend
 	// DisableMemo turns off Idea 4 (avoid repeated seekGap calls).
 	DisableMemo bool
 	// DisableComplete turns off Idea 6 (complete nodes).
@@ -109,7 +112,7 @@ func (e Engine) run(ctx context.Context, q *query.Query, db *core.DB, emit func(
 		if err != nil {
 			return 0, err
 		}
-		atoms, err = core.BindAtoms(q, db, gao)
+		atoms, err = core.BindAtoms(q, db, gao, e.Opts.Backend)
 		if err != nil {
 			return 0, err
 		}
@@ -428,7 +431,7 @@ func (ex *exec) probeAtom(i int, t []int64) (relation.Gap, bool) {
 			}
 		}
 	}
-	gap, found := ex.atoms[i].Rel.ProbeGap(proj)
+	gap, found := ex.atoms[i].Index.ProbeGap(proj)
 	ex.stats.Probes++
 	pm.valid = true
 	pm.found = found

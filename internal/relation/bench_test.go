@@ -32,22 +32,46 @@ func BenchmarkBuild100k(b *testing.B) {
 	}
 }
 
+func BenchmarkCSRBuild100k(b *testing.B) {
+	r := benchRelation(b, 100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewCSRTrie(r)
+	}
+}
+
+// fullScan drives a two-level depth-first walk through either backend's
+// cursor (the shapes BenchmarkTrieIteratorFullScan and BenchmarkCSR*FullScan
+// compare).
+func fullScan(it trieCursor) {
+	it.Open()
+	for !it.AtEnd() {
+		it.Open()
+		for !it.AtEnd() {
+			it.Next()
+		}
+		it.Up()
+		it.Next()
+	}
+	it.Up()
+}
+
 func BenchmarkTrieIteratorFullScan(b *testing.B) {
 	r := benchRelation(b, 100_000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		it := NewTrieIterator(r)
-		it.Open()
-		for !it.AtEnd() {
-			it.Open()
-			for !it.AtEnd() {
-				it.Next()
-			}
-			it.Up()
-			it.Next()
-		}
-		it.Up()
+		fullScan(NewTrieIterator(r))
+	}
+}
+
+func BenchmarkCSRCursorFullScan(b *testing.B) {
+	t := NewCSRTrie(benchRelation(b, 100_000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fullScan(NewCSRCursor(t))
 	}
 }
 
@@ -85,6 +109,22 @@ func BenchmarkProbeGap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, p := range points {
 			r.ProbeGap(p)
+		}
+	}
+}
+
+func BenchmarkCSRProbeGap(b *testing.B) {
+	t := NewCSRTrie(benchRelation(b, 100_000))
+	rng := rand.New(rand.NewSource(3))
+	points := make([][]int64, 1024)
+	for i := range points {
+		points[i] = []int64{int64(rng.Intn(30_000)), int64(rng.Intn(30_000))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range points {
+			t.ProbeGap(p)
 		}
 	}
 }

@@ -1,0 +1,205 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// trieCursor is the shared contract of TrieIterator and CSRCursor, so the
+// differential tests below can drive both identically.
+type trieCursor interface {
+	Open()
+	Up()
+	Next()
+	SeekGE(v int64)
+	AtEnd() bool
+	Key() int64
+}
+
+// walk enumerates the full trie depth-first, recording every (depth, key)
+// visit in order.
+func walk(c trieCursor, arity int) [][2]int64 {
+	var out [][2]int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		c.Open()
+		for !c.AtEnd() {
+			out = append(out, [2]int64{int64(depth), c.Key()})
+			if depth+1 < arity {
+				rec(depth + 1)
+			}
+			c.Next()
+		}
+		c.Up()
+	}
+	rec(0)
+	return out
+}
+
+func TestCSRCursorMatchesTrieIterator(t *testing.T) {
+	for _, tc := range []struct{ arity, n, domain int }{
+		{1, 50, 10},
+		{2, 200, 12},
+		{3, 300, 8},
+		{4, 400, 6},
+	} {
+		r := randomRelation(rand.New(rand.NewSource(int64(tc.arity*1000+tc.n))), tc.arity, tc.n, tc.domain)
+		csr := NewCSRTrie(r)
+		if csr.Len() != r.Len() || csr.Arity() != r.Arity() || csr.Name() != r.Name() {
+			t.Fatalf("CSR header mismatch: %v vs %v", csr, r)
+		}
+		flat := walk(NewTrieIterator(r), r.Arity())
+		got := walk(NewCSRCursor(csr), r.Arity())
+		if !reflect.DeepEqual(flat, got) {
+			t.Errorf("arity %d: CSR walk differs from flat walk (flat %d visits, csr %d)", tc.arity, len(flat), len(got))
+		}
+	}
+}
+
+// walkWithSeeks descends the trie performing a SeekGE at every level before
+// iterating, exercising the galloping path against the binary-search path.
+func walkWithSeeks(c trieCursor, arity int, seeks []int64) [][2]int64 {
+	var out [][2]int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		c.Open()
+		c.SeekGE(seeks[depth])
+		for !c.AtEnd() {
+			out = append(out, [2]int64{int64(depth), c.Key()})
+			if depth+1 < arity {
+				rec(depth + 1)
+			}
+			c.Next()
+			// Interleave forward seeks mid-level too.
+			if !c.AtEnd() {
+				c.SeekGE(c.Key() + seeks[depth]%3)
+			}
+		}
+		c.Up()
+	}
+	rec(0)
+	return out
+}
+
+func TestCSRSeekGEMatchesFlat(t *testing.T) {
+	r := randomRelation(rand.New(rand.NewSource(7)), 3, 500, 20)
+	csr := NewCSRTrie(r)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		seeks := []int64{int64(rng.Intn(22)), int64(rng.Intn(22)), int64(rng.Intn(22))}
+		flat := walkWithSeeks(NewTrieIterator(r), 3, seeks)
+		got := walkWithSeeks(NewCSRCursor(csr), 3, seeks)
+		if !reflect.DeepEqual(flat, got) {
+			t.Fatalf("seek walk %v: CSR differs from flat", seeks)
+		}
+	}
+	// Backward seeks are no-ops on both backends.
+	fc, cc := NewTrieIterator(r), NewCSRCursor(csr)
+	fc.Open()
+	cc.Open()
+	fc.SeekGE(10)
+	cc.SeekGE(10)
+	fk, ck := fc.Key(), cc.Key()
+	fc.SeekGE(0)
+	cc.SeekGE(0)
+	if fc.Key() != fk || cc.Key() != ck {
+		t.Error("backward SeekGE moved a cursor")
+	}
+}
+
+func TestCSRProbeGapMatchesFlat(t *testing.T) {
+	for _, arity := range []int{1, 2, 3} {
+		r := randomRelation(rand.New(rand.NewSource(int64(40+arity))), arity, 300, 9)
+		csr := NewCSRTrie(r)
+		rng := rand.New(rand.NewSource(int64(arity)))
+		point := make([]int64, arity)
+		for trial := 0; trial < 2000; trial++ {
+			for k := range point {
+				point[k] = int64(rng.Intn(11)) // domain+2: probes off both ends
+			}
+			fg, ffound := r.ProbeGap(point)
+			cg, cfound := csr.ProbeGap(point)
+			if ffound != cfound || fg != cg {
+				t.Fatalf("arity %d point %v: flat (%v, %v) vs csr (%v, %v)", arity, point, fg, ffound, cg, cfound)
+			}
+		}
+	}
+}
+
+// TestProbeGapInfBoundaries pins the NegInf/PosInf gap endpoints at the
+// domain edges on both backends: a probe below every stored value must
+// report Lo = NegInf, one above every stored value Hi = PosInf, and an empty
+// relation the full (NegInf, PosInf) box at column 0.
+func TestProbeGapInfBoundaries(t *testing.T) {
+	r := FromTuples("R", 2, [][]int64{{5, 10}, {5, 20}, {8, 1}})
+	csr := NewCSRTrie(r)
+	probes := []struct {
+		point   []int64
+		wantGap Gap
+	}{
+		// Below the least first-column value: no lower neighbor.
+		{[]int64{2, 0}, Gap{Col: 0, Lo: NegInf, Hi: 5}},
+		// Above the greatest first-column value: no upper neighbor.
+		{[]int64{9, 0}, Gap{Col: 0, Lo: 8, Hi: PosInf}},
+		// Present prefix, second column below its least child.
+		{[]int64{5, 3}, Gap{Col: 1, Lo: NegInf, Hi: 10}},
+		// Present prefix, second column above its greatest child.
+		{[]int64{5, 30}, Gap{Col: 1, Lo: 20, Hi: PosInf}},
+		// Present prefix, second column strictly between children.
+		{[]int64{5, 15}, Gap{Col: 1, Lo: 10, Hi: 20}},
+		// First column between stored values.
+		{[]int64{6, 0}, Gap{Col: 0, Lo: 5, Hi: 8}},
+	}
+	for _, tc := range probes {
+		for name, idx := range map[string]interface {
+			ProbeGap([]int64) (Gap, bool)
+		}{"flat": r, "csr": csr} {
+			gap, found := idx.ProbeGap(tc.point)
+			if found {
+				t.Errorf("%s: probe %v unexpectedly found", name, tc.point)
+				continue
+			}
+			if gap != tc.wantGap {
+				t.Errorf("%s: probe %v gap = %+v, want %+v", name, tc.point, gap, tc.wantGap)
+			}
+		}
+	}
+	// Present tuples are found on both backends.
+	for _, tuple := range [][]int64{{5, 10}, {5, 20}, {8, 1}} {
+		if _, found := r.ProbeGap(tuple); !found {
+			t.Errorf("flat: present tuple %v not found", tuple)
+		}
+		if _, found := csr.ProbeGap(tuple); !found {
+			t.Errorf("csr: present tuple %v not found", tuple)
+		}
+	}
+
+	empty := FromTuples("E", 2, nil)
+	emptyCSR := NewCSRTrie(empty)
+	want := Gap{Col: 0, Lo: NegInf, Hi: PosInf}
+	if gap, found := empty.ProbeGap([]int64{1, 1}); found || gap != want {
+		t.Errorf("flat empty: gap = %+v found=%v", gap, found)
+	}
+	if gap, found := emptyCSR.ProbeGap([]int64{1, 1}); found || gap != want {
+		t.Errorf("csr empty: gap = %+v found=%v", gap, found)
+	}
+}
+
+func TestCSREmptyAndSingleton(t *testing.T) {
+	empty := NewCSRTrie(FromTuples("E", 3, nil))
+	c := NewCSRCursor(empty)
+	c.Open()
+	if !c.AtEnd() {
+		t.Error("empty trie level 0 not at end")
+	}
+	c.Up()
+
+	single := NewCSRTrie(FromTuples("S", 2, [][]int64{{3, 4}}))
+	if got := walk(NewCSRCursor(single), 2); !reflect.DeepEqual(got, [][2]int64{{0, 3}, {1, 4}}) {
+		t.Errorf("singleton walk = %v", got)
+	}
+	if single.Nodes() != 2 {
+		t.Errorf("singleton Nodes = %d, want 2", single.Nodes())
+	}
+}

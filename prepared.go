@@ -145,6 +145,9 @@ type Explanation struct {
 	Planned bool
 	// GAO is the resolved global attribute order (nil when not Planned).
 	GAO []string
+	// Backend is the index backend every atom is bound under ("flat" or
+	// "csr"; empty when not Planned).
+	Backend string
 	// BetaCyclic reports whether the query needed Minesweeper's skeleton
 	// split (and drives the §4.10 parallel-granularity default).
 	BetaCyclic bool
@@ -169,6 +172,9 @@ func (e Explanation) String() string {
 			b.WriteString("  [beta-cyclic]")
 		}
 		b.WriteString("\n")
+		if e.Backend != "" {
+			fmt.Fprintf(&b, "backend %s\n", e.Backend)
+		}
 		for _, a := range e.Atoms {
 			skel := ""
 			if !a.InSkeleton {
@@ -200,6 +206,7 @@ func (p *Prepared) Explain() Explanation {
 	}
 	e.Planned = true
 	e.GAO = append([]string(nil), plan.GAO...)
+	e.Backend = string(plan.Backend)
 	e.BetaCyclic = plan.BetaCyclic
 	for i, a := range plan.Atoms {
 		cols := make([]string, len(a.VarPos))
