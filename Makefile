@@ -2,7 +2,7 @@
 # jobs (.github/workflows/ci.yml), so "it passed make" and "it passed CI"
 # mean the same thing.
 
-.PHONY: help build test race lint bench bench-smoke clean
+.PHONY: help build test race lint bench bench-smoke bench-gate clean
 
 help:
 	@echo "Available targets:"
@@ -11,8 +11,9 @@ help:
 	@echo "  make test         - Run the full test suite"
 	@echo "  make race         - Run the test suite under the race detector"
 	@echo "  make lint         - gofmt check + go vet + staticcheck (if installed)"
-	@echo "  make bench        - Run all benchmarks (both index backends)"
+	@echo "  make bench        - Run all benchmarks (every index backend)"
 	@echo "  make bench-smoke  - Run every benchmark once (the CI smoke job)"
+	@echo "  make bench-gate   - Gate bench-smoke.txt against bench-smoke.old.txt"
 	@echo "  make clean        - Drop build artifacts and the test cache"
 	@echo ""
 
@@ -43,6 +44,15 @@ bench-smoke:
 	@go test -bench . -benchtime=1x -run '^$$' ./... > bench-smoke.txt 2>&1; \
 	status=$$?; cat bench-smoke.txt; exit $$status
 
+# The CI regression gate, runnable locally: snapshot a baseline with
+# `make bench-smoke && cp bench-smoke.txt bench-smoke.old.txt`, hack, then
+# `make bench-smoke bench-gate`.
+bench-gate:
+	@test -f bench-smoke.old.txt || { \
+		echo "no baseline: run 'make bench-smoke' and copy bench-smoke.txt to bench-smoke.old.txt"; exit 1; }
+	@test -f bench-smoke.txt || { echo "no current run: run 'make bench-smoke' first"; exit 1; }
+	scripts/benchgate.sh bench-smoke.old.txt bench-smoke.txt
+
 clean:
-	rm -f bench-smoke.txt *.prof
+	rm -f bench-smoke.txt bench-smoke.old.txt *.prof
 	go clean -testcache

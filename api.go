@@ -160,10 +160,14 @@ type Options struct {
 	// GAO overrides the global attribute order (Table 4 experiments).
 	GAO []string
 	// Backend selects the physical index backend for the trie-driven
-	// engines (lftj, ms): "flat" (the default — binary search over the
-	// sorted rows, no extra memory) or "csr" (materialized CSR trie levels,
-	// built once per index at Prepare time, with O(1) child-range resolution
-	// on the join hot path). Other engines ignore it.
+	// engines (lftj, ms): "csr" (the default — materialized CSR trie
+	// levels, built once per index at Prepare time, with O(1) child-range
+	// resolution on the join hot path and incremental maintenance through
+	// delta overlays), "csr-sharded" (the CSR trie partitioned into
+	// disjoint first-attribute shards; parallel Counts bind one shard per
+	// worker job), or "flat" (binary search over the sorted rows — no extra
+	// memory, and the reference the other backends are differential-tested
+	// against). Other engines ignore it.
 	Backend string
 	// Idea toggles for the ablation experiments (all ideas default on).
 	DisableProbeMemo  bool // Idea 4

@@ -38,25 +38,39 @@
 // backend (Options.Backend) implementing the trie contract the paper's
 // engines assume:
 //
-//   - "flat" (default) — the sorted rows themselves; trie-cursor moves and
+//   - "csr" (default) — a materialized CSR attribute trie (one contiguous
+//     key array per level plus child-offset arrays, the TrieJax/EmptyHeaded
+//     layout): cursor Open/Next are O(1) array arithmetic, SeekGE gallops
+//     over a dense cache-resident array, and gap probes run one bounded
+//     binary search per level. Built once per index at Prepare time for up
+//     to ~1.5·arity·n extra keys of memory, and maintained incrementally:
+//     update batches (DB.ApplyDelta, driven by the incremental views) fold
+//     into a small sorted delta overlay — an adds log plus delete
+//     tombstones merged at cursor level and compacted past a threshold —
+//     so an update costs time proportional to the small log, not an
+//     O(arity·n) trie rebuild, and compiled
+//     plans stay valid across updates.
+//   - "csr-sharded" — the CSR trie partitioned into disjoint shards by
+//     contiguous ranges of the first GAO attribute. Sequential execution
+//     matches "csr"; the §4.10 parallel Count maps its jobs one-to-one
+//     onto shard ranges and each worker binds only its own shard —
+//     physically disjoint indexes, no shared-array contention between
+//     cores, and no per-execution scan to derive job cut points. Atoms
+//     whose index does not lead on the first GAO attribute bind plain CSR
+//     tries (sharding would not help them). Rebuilt, not overlaid, on
+//     updates.
+//   - "flat" — the sorted rows themselves; trie-cursor moves and
 //     Minesweeper's LUB/GLB gap probes re-derive child ranges by binary
-//     search over row ranges on each operation. Zero extra memory and build
-//     cost; the reference implementation the other backends are
+//     search over row ranges on each operation. Zero extra memory and
+//     build cost; the reference implementation the other backends are
 //     differential-tested against.
-//   - "csr" — a materialized CSR attribute trie (one contiguous key array
-//     per level plus child-offset arrays, the TrieJax/EmptyHeaded layout):
-//     cursor Open/Next are O(1) array arithmetic, SeekGE gallops over a
-//     dense cache-resident array, and gap probes run one bounded binary
-//     search per level. Built once per index at Prepare time (cached on the
-//     graph, invalidated when the relation changes) for up to arity·n extra
-//     keys of memory.
 //
-// Pick "csr" when a prepared query is executed repeatedly or the join is
-// seek-bound (cliques and cycles on power-law graphs); stay with "flat" for
-// one-shot queries, frequently updated relations (incremental views bind
-// flat indexes for exactly that reason), or memory-tight settings.
-// BenchmarkBackend in bench_test.go tracks the speedup; both backends must
-// produce identical results on the whole query corpus
+// Pick "csr-sharded" for parallel Counts on multi-core hardware, "flat"
+// for one-shot queries on memory-tight settings, and the "csr" default
+// otherwise — including under incremental view maintenance.
+// BenchmarkBackend and BenchmarkBackendParallel in bench_test.go track the
+// speedups; all backends must produce identical results on the whole query
+// corpus, including under parallel execution and view maintenance
 // (backend_diff_test.go).
 //
 // # Engines

@@ -43,8 +43,8 @@ type Config struct {
 	// Workers for the parallel engines (0 = all cores).
 	Workers int
 	// Backend selects the index backend for the trie-driven engines
-	// ("flat" or "csr"; empty = flat), so whole table runs can be compared
-	// across backends.
+	// ("flat", "csr", or "csr-sharded"; empty = the csr default), so whole
+	// table runs can be compared across backends.
 	Backend string
 	// SampleSeed varies the random node samples between runs.
 	SampleSeed int64

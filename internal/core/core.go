@@ -37,12 +37,22 @@ type DB struct {
 	mu      sync.Mutex
 	rels    map[string]*relation.Relation
 	indexes map[string]*relation.Relation
-	tries   map[string]IndexBackend
+	tries   map[string]trieEntry
 	plans   map[string]*Plan
-	// version increments on every Add; plan compilation snapshots it so a
-	// plan bound against relations that were replaced mid-compile is never
-	// cached (it would otherwise dodge Add's invalidation sweep forever).
+	// version increments on every Add and ApplyDelta; plan compilation
+	// snapshots it so a plan bound against relations that were replaced
+	// mid-compile is never cached (it would otherwise dodge Add's
+	// invalidation sweep forever).
 	version int64
+}
+
+// trieEntry is one cached physical index together with the permutation and
+// backend it was built under, so ApplyDelta can route an update batch into
+// the index's own attribute order.
+type trieEntry struct {
+	perm    []int
+	backend Backend
+	idx     IndexBackend
 }
 
 // NewDB returns an empty database.
@@ -50,7 +60,7 @@ func NewDB() *DB {
 	return &DB{
 		rels:    make(map[string]*relation.Relation),
 		indexes: make(map[string]*relation.Relation),
-		tries:   make(map[string]IndexBackend),
+		tries:   make(map[string]trieEntry),
 		plans:   make(map[string]*Plan),
 	}
 }
@@ -79,6 +89,131 @@ func (db *DB) Add(r *relation.Relation) {
 			delete(db.plans, k)
 		}
 	}
+}
+
+// Version returns the database's mutation counter (incremented by every Add
+// and ApplyDelta). Callers that cache derived state — the incremental views
+// cache compiled delta plans — compare versions to detect relations changing
+// underneath them.
+func (db *DB) Version() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.version
+}
+
+// ApplyDelta applies an in-place update batch to the named relation:
+// registers the merged relation (one linear merge, no re-sort) and then
+// maintains the cached physical design incrementally instead of discarding
+// it — every cached CSR index absorbs the batch through its delta overlay
+// (relation.Overlay) in time proportional to the small log — no trie
+// rebuild — and plans compiled against the CSR
+// backend stay valid because their index objects are advanced in place.
+// Flat and sharded indexes, and plans bound to them, are invalidated and
+// rebuilt lazily (the flat permuted relations are re-derived from the merged
+// relation on next use; sharded tries are rebuilt on next bind).
+//
+// Inserts already present and deletes absent are ignored, and an insert
+// cancelling a delete (or vice versa) within one batch resolves to a no-op
+// for that tuple, so any caller batch is safe. This is the write path the
+// incremental views (internal/incremental) drive on every ApplyEdges batch.
+func (db *DB) ApplyDelta(name string, inserts, deletes [][]int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.rels[name]
+	if !ok {
+		return fmt.Errorf("core: %w: %q", ErrUnknownRelation, name)
+	}
+	ins, dels := filterDelta(r, inserts, deletes)
+	if len(ins) == 0 && len(dels) == 0 {
+		return nil
+	}
+	db.version++
+	arity := r.Arity()
+	insRel := relation.FromTuples(name, arity, ins)
+	delsRel := relation.FromTuples(name, arity, dels)
+	db.rels[name] = relation.MergeDelta(r, insRel, delsRel)
+	prefix := name + "/"
+	for k := range db.indexes {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			delete(db.indexes, k)
+		}
+	}
+	for k, e := range db.tries {
+		if len(k) < len(prefix) || k[:len(prefix)] != prefix {
+			continue
+		}
+		if e.backend == BackendCSR {
+			e.idx.(*csrIndex).applyDelta(permuteTuples(ins, e.perm), permuteTuples(dels, e.perm))
+			continue
+		}
+		delete(db.tries, k)
+	}
+	for k, p := range db.plans {
+		if p.reads(name) && p.Backend != BackendCSR {
+			delete(db.plans, k)
+		}
+	}
+	return nil
+}
+
+// filterDelta reduces a raw update batch to the canonical delta against r:
+// deletes restricted to present tuples, inserts to absent ones, both
+// deduplicated. A tuple appearing on both sides resolves as
+// delete-after-insert: a no-op for absent tuples, a delete for present
+// ones. The result satisfies the overlay invariants (ins ∩ r = ∅,
+// dels ⊆ r, ins ∩ dels = ∅).
+func filterDelta(r *relation.Relation, inserts, deletes [][]int64) (ins, dels [][]int64) {
+	seenDel := make(map[string]bool)
+	for _, t := range deletes {
+		if len(t) != r.Arity() {
+			continue
+		}
+		k := relation.TupleKey(t)
+		if !seenDel[k] && r.Contains(t) {
+			dels = append(dels, t)
+		}
+		seenDel[k] = true
+	}
+	seenIns := make(map[string]bool)
+	for _, t := range inserts {
+		if len(t) != r.Arity() || r.Contains(t) {
+			continue
+		}
+		k := relation.TupleKey(t)
+		if !seenIns[k] && !seenDel[k] {
+			seenIns[k] = true
+			ins = append(ins, t)
+		}
+	}
+	return ins, dels
+}
+
+// permuteTuples reorders every tuple's columns by perm (output column k
+// holds input column perm[k]) — the delta-batch counterpart of
+// Relation.Permute.
+func permuteTuples(tuples [][]int64, perm []int) [][]int64 {
+	if len(tuples) == 0 {
+		return nil
+	}
+	identity := true
+	for k, p := range perm {
+		if p != k {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return tuples
+	}
+	out := make([][]int64, len(tuples))
+	for i, t := range tuples {
+		pt := make([]int64, len(perm))
+		for k, p := range perm {
+			pt[k] = t[p]
+		}
+		out[i] = pt
+	}
+	return out
 }
 
 // Relation returns the named relation.
@@ -136,10 +271,12 @@ func (db *DB) indexLocked(name string, perm []int) (*relation.Relation, error) {
 
 // TrieIndex returns the named relation's GAO-consistent index under the
 // chosen backend, caching the built index alongside the permuted relation
-// (both caches are invalidated per relation by Add). The flat backend wraps
-// the permuted relation directly; the CSR backend additionally materializes
-// its trie levels here, so the build cost is paid once per
-// relation × permutation × backend and amortized across executions.
+// (both caches are invalidated per relation by Add; ApplyDelta instead
+// advances cached CSR indexes in place through their delta overlays). The
+// flat backend wraps the permuted relation directly; the CSR backends
+// additionally materialize their trie levels here, so the build cost is
+// paid once per relation × permutation × backend and amortized across
+// executions.
 func (db *DB) TrieIndex(name string, perm []int, backend Backend) (IndexBackend, error) {
 	if backend == "" {
 		backend = DefaultBackend
@@ -147,8 +284,8 @@ func (db *DB) TrieIndex(name string, perm []int, backend Backend) (IndexBackend,
 	key := indexKey(name, perm) + "#" + string(backend)
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if idx, ok := db.tries[key]; ok {
-		return idx, nil
+	if e, ok := db.tries[key]; ok {
+		return e.idx, nil
 	}
 	rel, err := db.indexLocked(name, perm)
 	if err != nil {
@@ -158,7 +295,7 @@ func (db *DB) TrieIndex(name string, perm []int, backend Backend) (IndexBackend,
 	if err != nil {
 		return nil, err
 	}
-	db.tries[key] = idx
+	db.tries[key] = trieEntry{perm: append([]int(nil), perm...), backend: backend, idx: idx}
 	return idx, nil
 }
 
@@ -176,19 +313,62 @@ type Engine interface {
 // variables sorted by GAO position, the permutation applied, and the global
 // GAO positions of its columns in index order.
 type AtomIndex struct {
-	// Rel is the permuted flat relation — always present, for engines that
-	// need row-level access (generic join's span narrowing) and for plan
-	// introspection.
+	// Rel is the permuted flat relation the index was bound over. It is
+	// populated only for the flat backend (where it is the index) — the
+	// engine that needs row-level access, generic join, always binds flat.
+	// CSR-backed bindings leave it nil so incremental updates never force
+	// the permuted flat relation to be rebuilt; introspection reads live
+	// Arity/Len through Index instead.
 	Rel *relation.Relation
-	// Index is the backend-selected trie index over Rel; the trie-driven
-	// engines (LFTJ, Minesweeper) execute exclusively against it.
+	// Index is the backend-selected trie index; the trie-driven engines
+	// (LFTJ, Minesweeper) execute exclusively against it.
 	Index IndexBackend
 	// VarPos[k] is the GAO position of the index's column k.
 	VarPos []int
 }
 
+// BindAtom builds the GAO-consistent index for one atom under the chosen
+// backend. gaoPos maps variable name to GAO position. The incremental views
+// use it to re-bind just their delta atoms per update batch.
+//
+// Under the csr-sharded backend, only atoms whose index leads on the first
+// GAO attribute actually bind the sharded trie — those are the indexes the
+// §4.10 parallel jobs partition (splitJobs cuts the first attribute's
+// domain). Every other atom binds the plain CSR trie: sharding would buy it
+// nothing, while the composed shard-crossing cursor would cost on every
+// operation of the join's inner loops.
+func BindAtom(a query.Atom, db *DB, gaoPos map[string]int, backend Backend) (AtomIndex, error) {
+	order := make([]int, len(a.Vars)) // column order by GAO position
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return gaoPos[a.Vars[order[x]]] < gaoPos[a.Vars[order[y]]]
+	})
+	if backend == BackendCSRSharded && gaoPos[a.Vars[order[0]]] != 0 {
+		backend = BackendCSR
+	}
+	trie, err := db.TrieIndex(a.Rel, order, backend)
+	if err != nil {
+		return AtomIndex{}, err
+	}
+	var rel *relation.Relation
+	if fi, ok := trie.(flatIndex); ok {
+		rel = fi.r
+	}
+	varPos := make([]int, len(order))
+	for k, col := range order {
+		p, ok := gaoPos[a.Vars[col]]
+		if !ok {
+			return AtomIndex{}, fmt.Errorf("core: %w: GAO misses variable %q of atom %s", ErrUnboundVar, a.Vars[col], a)
+		}
+		varPos[k] = p
+	}
+	return AtomIndex{Rel: rel, Index: trie, VarPos: varPos}, nil
+}
+
 // BindAtoms builds GAO-consistent indexes for all atoms of a query under the
-// chosen backend (paper §4.1). gaoIndex maps variable name to GAO position.
+// chosen backend (paper §4.1).
 func BindAtoms(q *query.Query, db *DB, gao []string, backend Backend) ([]AtomIndex, error) {
 	pos := make(map[string]int, len(gao))
 	for i, v := range gao {
@@ -196,30 +376,11 @@ func BindAtoms(q *query.Query, db *DB, gao []string, backend Backend) ([]AtomInd
 	}
 	out := make([]AtomIndex, len(q.Atoms))
 	for i, a := range q.Atoms {
-		order := make([]int, len(a.Vars)) // column order by GAO position
-		for k := range order {
-			order[k] = k
-		}
-		sort.Slice(order, func(x, y int) bool {
-			return pos[a.Vars[order[x]]] < pos[a.Vars[order[y]]]
-		})
-		idx, err := db.Index(a.Rel, order)
+		ai, err := BindAtom(a, db, pos, backend)
 		if err != nil {
 			return nil, err
 		}
-		trie, err := db.TrieIndex(a.Rel, order, backend)
-		if err != nil {
-			return nil, err
-		}
-		varPos := make([]int, len(order))
-		for k, col := range order {
-			p, ok := pos[a.Vars[col]]
-			if !ok {
-				return nil, fmt.Errorf("core: %w: GAO misses variable %q of atom %s", ErrUnboundVar, a.Vars[col], a)
-			}
-			varPos[k] = p
-		}
-		out[i] = AtomIndex{Rel: idx, Index: trie, VarPos: varPos}
+		out[i] = ai
 	}
 	return out, nil
 }

@@ -129,8 +129,8 @@ func NewPlan(q *query.Query, db *DB, algorithm string, gao []string, inSkel []bo
 		return nil, err
 	}
 	for i, a := range atoms {
-		if a.Rel.Arity() != len(q.Atoms[i].Vars) {
-			return nil, fmt.Errorf("core: atom %s arity mismatch with relation %s", q.Atoms[i], a.Rel)
+		if a.Index.Arity() != len(q.Atoms[i].Vars) {
+			return nil, fmt.Errorf("core: atom %s arity mismatch with its %d-ary index", q.Atoms[i], a.Index.Arity())
 		}
 	}
 	sc.Add(Stats{IndexBindings: int64(len(atoms))})

@@ -66,7 +66,9 @@ type Options struct {
 	// GAO overrides the attribute order for LFTJ and Minesweeper.
 	GAO []string
 	// Backend selects the index backend for the trie-driven engines (LFTJ,
-	// Minesweeper): core.BackendFlat (the default) or core.BackendCSR.
+	// Minesweeper): core.BackendCSR (the default), core.BackendCSRSharded
+	// (disjoint per-shard binding on the parallel Count path), or
+	// core.BackendFlat (the reference).
 	Backend core.Backend
 	// MaxRows caps pairwise-engine intermediates.
 	MaxRows int
@@ -276,8 +278,16 @@ func (p *parallel) rangeCount(ctx context.Context, q *query.Query, db *core.DB, 
 
 // splitJobs partitions the first GAO variable's candidate values into up to
 // n contiguous ranges of roughly equal candidate counts (the paper's
-// "p equal-sized parts" of the output space).
+// "p equal-sized parts" of the output space). Under the csr-sharded backend
+// the cut points are taken from the shard boundaries instead, so every job
+// maps one-to-one onto a physically disjoint shard of the indexes leading
+// on the first attribute.
 func (p *parallel) splitJobs(q *query.Query, db *core.DB, n int) ([][2]int64, error) {
+	if plan := p.opts.Plan; plan != nil && plan.Backend == core.BackendCSRSharded {
+		if jobs := shardJobs(plan); len(jobs) > 1 {
+			return jobs, nil
+		}
+	}
 	var gao []string
 	if p.opts.Plan != nil {
 		gao = p.opts.Plan.GAO
@@ -354,6 +364,37 @@ func (p *parallel) splitJobs(q *query.Query, db *core.DB, n int) ([][2]int64, er
 	}
 	jobs = append(jobs, [2]int64{lo, relation.PosInf})
 	return jobs, nil
+}
+
+// shardJobs derives the job ranges from the shard boundaries of the plan's
+// sharded indexes: among the atoms whose index leads on the first GAO
+// attribute, the one with the most shards sets the cut points (its shards
+// are the finest physical partition of the first attribute). Each returned
+// job covers exactly one shard of that index, so the per-job RestrictAtoms
+// binding in the engines resolves to a single disjoint shard.
+func shardJobs(plan *core.Plan) [][2]int64 {
+	var best core.ShardedIndex
+	for _, a := range plan.Atoms {
+		if len(a.VarPos) == 0 || a.VarPos[0] != 0 {
+			continue
+		}
+		if si, ok := a.Index.(core.ShardedIndex); ok {
+			if best == nil || si.NumShards() > best.NumShards() {
+				best = si
+			}
+		}
+	}
+	if best == nil || best.NumShards() <= 1 {
+		return nil
+	}
+	starts := best.ShardStarts()
+	jobs := make([][2]int64, 0, len(starts))
+	lo := int64(-1)
+	for _, s := range starts[1:] {
+		jobs = append(jobs, [2]int64{lo, s})
+		lo = s
+	}
+	return append(jobs, [2]int64{lo, relation.PosInf})
 }
 
 func sortInt64(v []int64) {

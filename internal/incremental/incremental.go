@@ -12,11 +12,19 @@
 // and the count correction is the sum over non-empty S — each term a small
 // join evaluated with the worst-case-optimal engine, with the Δ-bound atoms
 // keeping every term tiny for selective updates.
+//
+// Views run on the CSR backend by default: base relations are updated
+// through core.DB.ApplyDelta, which folds each batch into the cached CSR
+// indexes' delta overlays (relation.Overlay) in time proportional to the
+// small log rather than an index rebuild, so the compiled
+// delta plans — and the physical indexes they bind — survive arbitrarily
+// many batches. Only the tiny Δ relation's atoms are re-bound per batch.
 package incremental
 
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/lftj"
@@ -31,35 +39,64 @@ const deltaSuffix = "@delta"
 // View is a maintained count of a query over a database. The delta queries
 // it evaluates per update batch are planned once: the GAO and the per-mask
 // term queries are derived at construction (or on a relation's first
-// update) and reused across every ApplyEdges/UpdateRelation batch — only
-// the delta relation's indexes are re-bound, because only they changed.
+// update), and under the CSR backend the compiled plans themselves are
+// cached across batches — ApplyDelta keeps their bound indexes current, so
+// per batch only the delta relation's atoms are re-bound.
 type View struct {
-	q     *query.Query
-	db    *core.DB
-	count int64
-	gao   []string
+	q       *query.Query
+	db      *core.DB
+	backend core.Backend
+	count   int64
+	gao     []string
+	gaoPos  map[string]int
 	// occ[rel] lists the atom indices referencing rel.
 	occ map[string][]int
 	// terms[rel] holds the prepared delta-term queries, one per non-empty
 	// occurrence subset, built once per relation.
 	terms map[string][]*query.Query
-	sc    *core.StatsCollector
+	// plans caches compiled plans per term query (CSR backend only); valid
+	// while dbVersion matches the database's mutation counter as tracked
+	// through the view's own updates.
+	plans     map[*query.Query]*core.Plan
+	dbVersion int64
+	sc        *core.StatsCollector
 }
 
-// NewView computes the initial count and returns the maintained view.
+// NewView computes the initial count and returns the maintained view on the
+// default backend.
 func NewView(ctx context.Context, q *query.Query, db *core.DB) (*View, error) {
+	return NewViewBackend(ctx, q, db, core.DefaultBackend)
+}
+
+// NewViewBackend is NewView with an explicit index backend for the delta
+// queries. The CSR backend is the fast path (incremental index maintenance
+// through delta overlays); flat and csr-sharded re-bind their physical
+// indexes per batch and serve as the differential-testing reference.
+func NewViewBackend(ctx context.Context, q *query.Query, db *core.DB, backend core.Backend) (*View, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	if backend == "" {
+		backend = core.DefaultBackend
+	}
+	gao := q.Vars()
+	pos := make(map[string]int, len(gao))
+	for i, v := range gao {
+		pos[v] = i
+	}
 	v := &View{
-		q:     q,
-		db:    db,
-		gao:   q.Vars(),
-		occ:   make(map[string][]int),
-		terms: make(map[string][]*query.Query),
-		sc:    &core.StatsCollector{},
+		q:       q,
+		db:      db,
+		backend: backend,
+		gao:     gao,
+		gaoPos:  pos,
+		occ:     make(map[string][]int),
+		terms:   make(map[string][]*query.Query),
+		plans:   make(map[*query.Query]*core.Plan),
+		sc:      &core.StatsCollector{},
 	}
 	v.sc.Add(core.Stats{GAODerivations: 1})
+	v.dbVersion = db.Version()
 	n, err := v.run(ctx, q)
 	if err != nil {
 		return nil, err
@@ -72,11 +109,9 @@ func NewView(ctx context.Context, q *query.Query, db *core.DB) (*View, error) {
 }
 
 // run evaluates one query (the view query or a delta term) with the
-// worst-case-optimal engine under the view's fixed GAO. The atom binding
-// runs per call because the delta relation's data changes every batch, but
-// unchanged base-relation indexes are served from the DB's index cache.
+// worst-case-optimal engine under the view's fixed GAO.
 func (v *View) run(ctx context.Context, q *query.Query) (int64, error) {
-	plan, err := core.NewPlan(q, v.db, "lftj", v.gao, nil, false, core.BackendFlat, v.sc)
+	plan, err := v.planFor(q)
 	if err != nil {
 		return 0, err
 	}
@@ -85,15 +120,72 @@ func (v *View) run(ctx context.Context, q *query.Query) (int64, error) {
 	return e.Count(ctx, q, v.db)
 }
 
+// planFor returns a plan for q. Under the CSR backend the base compilation
+// is cached across batches (ApplyDelta keeps its bound indexes current in
+// place) and only atoms over @delta relations are re-bound; other backends
+// recompile per run, because ApplyDelta invalidates their physical indexes.
+func (v *View) planFor(q *query.Query) (*core.Plan, error) {
+	if v.backend != core.BackendCSR {
+		return core.NewPlan(q, v.db, "lftj", v.gao, nil, false, v.backend, v.sc)
+	}
+	if ver := v.db.Version(); ver != v.dbVersion {
+		// The database changed outside this view's own updates; cached
+		// plans may bind replaced indexes. Drop and recompile.
+		v.plans = make(map[*query.Query]*core.Plan)
+		v.dbVersion = ver
+	}
+	base, ok := v.plans[q]
+	if !ok {
+		var err error
+		base, err = core.NewPlan(q, v.db, "lftj", v.gao, nil, false, v.backend, v.sc)
+		if err != nil {
+			return nil, err
+		}
+		v.plans[q] = base
+	}
+	deltas := 0
+	for _, a := range q.Atoms {
+		if strings.HasSuffix(a.Rel, deltaSuffix) {
+			deltas++
+		}
+	}
+	if deltas == 0 {
+		return base, nil
+	}
+	// The delta relation is re-registered every batch, so its atoms are
+	// re-bound on a copy of the cached plan; base-relation bindings carry
+	// over untouched.
+	cp := *base
+	cp.Atoms = append([]core.AtomIndex(nil), base.Atoms...)
+	for i, a := range q.Atoms {
+		if !strings.HasSuffix(a.Rel, deltaSuffix) {
+			continue
+		}
+		ai, err := core.BindAtom(a, v.db, v.gaoPos, v.backend)
+		if err != nil {
+			return nil, err
+		}
+		cp.Atoms[i] = ai
+	}
+	v.sc.Add(core.Stats{IndexBindings: int64(deltas)})
+	return &cp, nil
+}
+
+// sync records the database version after one of the view's own mutations,
+// so planFor can tell the view's updates apart from external ones.
+func (v *View) sync() { v.dbVersion = v.db.Version() }
+
 // Count returns the maintained count.
 func (v *View) Count() int64 { return v.count }
+
+// Backend returns the index backend the view's delta queries run on.
+func (v *View) Backend() core.Backend { return v.backend }
 
 // Stats returns the view's accumulated planning and execution counters.
 // GAODerivations stays at 1 across arbitrarily many update batches — the
 // attribute order and term queries are derived once. IndexBindings grows
-// with each delta-term run (the delta relation's data changes every batch,
-// so its atoms re-bind; unchanged base-relation indexes are cache hits
-// inside the binding).
+// only with the delta atoms re-bound per batch (the base relations' CSR
+// indexes are maintained in place by ApplyDelta and never re-bound).
 func (v *View) Stats() core.Stats { return v.sc.Snapshot() }
 
 // Recount recomputes from scratch (for verification).
@@ -111,23 +203,38 @@ func (v *View) UpdateRelation(ctx context.Context, rel string, inserts, deletes 
 		return err
 	}
 	if len(occ) == 0 {
-		// The view does not depend on this relation; just apply.
-		return v.apply(rel, r, inserts, deletes)
+		// The view does not depend on this relation; just apply, deletions
+		// first so an insert of a just-deleted tuple lands.
+		if err := v.db.ApplyDelta(rel, nil, deletes); err != nil {
+			v.sync()
+			return err
+		}
+		err := v.db.ApplyDelta(rel, inserts, nil)
+		v.sync()
+		return err
 	}
 	// Deletions first: with R' = R \ D registered, the correction terms are
 	// evaluated over (R', D).
 	dels := filterPresent(r, deletes, true)
 	if len(dels) > 0 {
-		rPrime := minus(r, dels)
-		v.db.Add(rPrime)
+		if err := v.db.ApplyDelta(rel, nil, dels); err != nil {
+			return err
+		}
+		v.sync()
 		correction, err := v.deltaTerms(ctx, rel, tuplesToRelation(rel+deltaSuffix, r.Arity(), dels))
 		if err != nil {
 			// Restore the original relation before surfacing the error.
-			v.db.Add(r)
+			restoreErr := v.db.ApplyDelta(rel, dels, nil)
+			v.sync()
+			if restoreErr != nil {
+				return fmt.Errorf("%w (restore failed: %v)", err, restoreErr)
+			}
 			return err
 		}
 		v.count -= correction
-		r = rPrime
+		if r, err = v.db.Relation(rel); err != nil {
+			return err
+		}
 	}
 	// Insertions: correction terms are evaluated over the pre-insert R.
 	ins := filterPresent(r, inserts, false)
@@ -137,16 +244,11 @@ func (v *View) UpdateRelation(ctx context.Context, rel string, inserts, deletes 
 			return err
 		}
 		v.count += correction
-		v.db.Add(plus(r, ins))
+		if err := v.db.ApplyDelta(rel, ins, nil); err != nil {
+			return err
+		}
+		v.sync()
 	}
-	return nil
-}
-
-// apply installs an update without corrections (unreferenced relation).
-func (v *View) apply(rel string, r *relation.Relation, inserts, deletes [][]int64) error {
-	out := minus(r, filterPresent(r, deletes, true))
-	out = plus(out, filterPresent(out, inserts, false))
-	v.db.Add(out)
 	return nil
 }
 
@@ -155,6 +257,7 @@ func (v *View) apply(rel string, r *relation.Relation, inserts, deletes [][]int6
 // happen once per relation; per batch only the delta indexes are re-bound.
 func (v *View) deltaTerms(ctx context.Context, rel string, delta *relation.Relation) (int64, error) {
 	v.db.Add(delta)
+	v.sync()
 	terms, err := v.termQueries(rel)
 	if err != nil {
 		return 0, err
@@ -203,7 +306,7 @@ func filterPresent(r *relation.Relation, tuples [][]int64, want bool) [][]int64 
 		if r.Contains(t) != want {
 			continue
 		}
-		k := key(t)
+		k := relation.TupleKey(t)
 		if seen[k] {
 			continue
 		}
@@ -213,43 +316,8 @@ func filterPresent(r *relation.Relation, tuples [][]int64, want bool) [][]int64 
 	return out
 }
 
-func key(t []int64) string {
-	b := make([]byte, 0, len(t)*8)
-	for _, v := range t {
-		u := uint64(v)
-		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24), byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
-	}
-	return string(b)
-}
-
 func tuplesToRelation(name string, arity int, tuples [][]int64) *relation.Relation {
 	b := relation.NewBuilder(name, arity)
-	for _, t := range tuples {
-		b.Add(t...)
-	}
-	return b.Build()
-}
-
-func minus(r *relation.Relation, tuples [][]int64) *relation.Relation {
-	drop := make(map[string]bool, len(tuples))
-	for _, t := range tuples {
-		drop[key(t)] = true
-	}
-	b := relation.NewBuilder(r.Name(), r.Arity())
-	for i := 0; i < r.Len(); i++ {
-		t := r.Tuple(i)
-		if !drop[key(t)] {
-			b.Add(t...)
-		}
-	}
-	return b.Build()
-}
-
-func plus(r *relation.Relation, tuples [][]int64) *relation.Relation {
-	b := relation.NewBuilder(r.Name(), r.Arity())
-	for i := 0; i < r.Len(); i++ {
-		b.Add(r.Tuple(i)...)
-	}
 	for _, t := range tuples {
 		b.Add(t...)
 	}
@@ -263,9 +331,15 @@ type GraphView struct {
 	*View
 }
 
-// NewGraphView builds a maintained view over the graph schema.
+// NewGraphView builds a maintained view over the graph schema on the
+// default backend.
 func NewGraphView(ctx context.Context, q *query.Query, db *core.DB) (*GraphView, error) {
-	v, err := NewView(ctx, q, db)
+	return NewGraphViewBackend(ctx, q, db, core.DefaultBackend)
+}
+
+// NewGraphViewBackend is NewGraphView with an explicit index backend.
+func NewGraphViewBackend(ctx context.Context, q *query.Query, db *core.DB, backend core.Backend) (*GraphView, error) {
+	v, err := NewViewBackend(ctx, q, db, backend)
 	if err != nil {
 		return nil, err
 	}

@@ -78,10 +78,19 @@ func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit
 			return err
 		}
 		for i, a := range atoms {
-			if a.Rel.Arity() != len(q.Atoms[i].Vars) {
-				return fmt.Errorf("lftj: atom %s arity mismatch with relation %s", q.Atoms[i], a.Rel)
+			if a.Index.Arity() != len(q.Atoms[i].Vars) {
+				return fmt.Errorf("lftj: atom %s arity mismatch with its %d-ary index", q.Atoms[i], a.Index.Arity())
 			}
 		}
+	}
+	// Pin overlay-backed indexes to one snapshot for this whole run, so a
+	// concurrent DB.ApplyDelta can never mix two index states mid-join.
+	atoms = core.SnapshotAtoms(atoms)
+	if rng := e.Opts.FirstVarRange; rng != nil {
+		// §4.10 parallel job: bind atoms leading on the first GAO attribute
+		// to just the shards covering this job's range, so concurrent
+		// workers walk disjoint physical indexes.
+		atoms = core.RestrictAtoms(atoms, rng.Lo, rng.Hi)
 	}
 	ex := &exec{
 		n:       len(gao),

@@ -119,12 +119,24 @@ func (e Engine) run(ctx context.Context, q *query.Query, db *core.DB, emit func(
 	}
 	maxArity := 0
 	for i, a := range atoms {
-		if a.Rel.Arity() != len(q.Atoms[i].Vars) {
-			return 0, fmt.Errorf("minesweeper: atom %s arity mismatch with relation %s", q.Atoms[i], a.Rel)
+		if a.Index.Arity() != len(q.Atoms[i].Vars) {
+			return 0, fmt.Errorf("minesweeper: atom %s arity mismatch with its %d-ary index", q.Atoms[i], a.Index.Arity())
 		}
-		if a.Rel.Arity() > maxArity {
-			maxArity = a.Rel.Arity()
+		if a.Index.Arity() > maxArity {
+			maxArity = a.Index.Arity()
 		}
+	}
+	// Pin overlay-backed indexes to one snapshot for this whole run, so a
+	// concurrent DB.ApplyDelta can never mix two index states between
+	// probes (the CDS would otherwise accumulate gaps from different
+	// database states).
+	atoms = core.SnapshotAtoms(atoms)
+	if r := e.Opts.FirstVarRange; r != nil {
+		// §4.10 parallel job: bind atoms leading on the first GAO attribute
+		// to just the shards covering this job's range (disjoint physical
+		// indexes per worker). Gap probes against the restricted view are
+		// exact for every free tuple inside the job's range.
+		atoms = core.RestrictAtoms(atoms, r.Lo, r.Hi)
 	}
 	ex := &exec{
 		n:       len(gao),

@@ -128,3 +128,90 @@ func BenchmarkCSRProbeGap(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkShardedCursorFullScan(b *testing.B) {
+	t := NewShardedCSR(benchRelation(b, 100_000), 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fullScan(NewShardedCursor(t))
+	}
+}
+
+func BenchmarkShardedProbeGap(b *testing.B) {
+	t := NewShardedCSR(benchRelation(b, 100_000), 8)
+	rng := rand.New(rand.NewSource(3))
+	points := make([][]int64, 1024)
+	for i := range points {
+		points[i] = []int64{int64(rng.Intn(30_000)), int64(rng.Intn(30_000))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range points {
+			t.ProbeGap(p)
+		}
+	}
+}
+
+// benchOverlay carries ~2% of the base in live logs — the steady state of a
+// view between compactions.
+func benchOverlay(b *testing.B) *Overlay {
+	b.Helper()
+	r := benchRelation(b, 100_000)
+	ov := NewOverlay(r)
+	rng := rand.New(rand.NewSource(9))
+	var ins, dels [][]int64
+	for i := 0; i < 1000; i++ {
+		t := []int64{int64(rng.Intn(30_000)), int64(rng.Intn(30_000))}
+		if r.Contains(t) {
+			dels = append(dels, t)
+		} else {
+			ins = append(ins, t)
+		}
+	}
+	ov = ov.Apply(ins, dels)
+	if ov.LogLen() == 0 {
+		b.Fatal("overlay compacted; benchmark would measure the pristine path")
+	}
+	return ov
+}
+
+func BenchmarkOverlayCursorFullScan(b *testing.B) {
+	ov := benchOverlay(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fullScan(ov.NewCursor())
+	}
+}
+
+func BenchmarkOverlayProbeGap(b *testing.B) {
+	ov := benchOverlay(b)
+	rng := rand.New(rand.NewSource(3))
+	points := make([][]int64, 1024)
+	for i := range points {
+		points[i] = []int64{int64(rng.Intn(30_000)), int64(rng.Intn(30_000))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range points {
+			ov.ProbeGap(p)
+		}
+	}
+}
+
+// BenchmarkOverlayApply measures one single-tuple update landing in the
+// logs — the per-batch cost a CSR-backed incremental view pays instead of
+// an O(arity·n) trie rebuild.
+func BenchmarkOverlayApply(b *testing.B) {
+	ov := NewOverlay(benchRelation(b, 100_000))
+	rng := rand.New(rand.NewSource(11))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := []int64{int64(rng.Intn(30_000)), int64(rng.Intn(30_000))}
+		ov.Apply([][]int64{t}, nil)
+	}
+}

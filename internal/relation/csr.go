@@ -25,11 +25,19 @@ type CSRTrie struct {
 // csrLevel is one materialized trie level: vals holds the keys of every node
 // at this depth, grouped by parent; start[p] .. start[p+1] bounds the
 // children of parent node p in vals (level 0 has the single virtual root as
-// parent, so start is [0, len(vals)]).
+// parent, so start is [0, len(vals)]). rows[i] is the first source row of
+// node i's subtree; because nodes at a level partition the sorted rows in
+// order, node i spans rows [rows[i], rows[i+1]) and rows[len(vals)] == n.
+// The spans give every node its subtree tuple count in O(1) — the delta
+// overlay's tombstone check (is a base subtree fully deleted?) reads them.
 type csrLevel struct {
 	vals  []int64
 	start []int32
+	rows  []int32
 }
+
+// span returns the subtree tuple count of node pos at this level.
+func (l *csrLevel) span(pos int32) int32 { return l.rows[pos+1] - l.rows[pos] }
 
 // NewCSRTrie materializes the attribute trie of a sorted, deduplicated
 // relation. Build cost is one linear pass per level, O(arity · n) total.
@@ -61,6 +69,9 @@ func NewCSRTrie(r *Relation) *CSRTrie {
 			}
 			lvl.start = append(lvl.start, int32(len(lvl.vals)))
 		}
+		// Nodes partition the sorted rows in order, so curHi[i] == curLo[i+1]
+		// and the span array is curLo with the total row count appended.
+		lvl.rows = append(curLo, int32(r.n))
 		prevLo, prevHi = curLo, curHi
 	}
 	return t
@@ -206,6 +217,15 @@ func (c *CSRCursor) AtEnd() bool {
 func (c *CSRCursor) Key() int64 {
 	cur := c.depth - 1
 	return c.t.levels[cur].vals[c.pos[cur]]
+}
+
+// Span returns the subtree tuple count of the current node — how many
+// tuples of the relation extend the key path selected so far. The delta
+// overlay compares base and tombstone spans to decide whether a base
+// subtree is fully deleted.
+func (c *CSRCursor) Span() int32 {
+	cur := c.depth - 1
+	return c.t.levels[cur].span(c.pos[cur])
 }
 
 // Next advances to the next distinct key: a single increment, because every

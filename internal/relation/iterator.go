@@ -1,5 +1,21 @@
 package relation
 
+// Cursor is the trie-cursor contract every access path in this package
+// implements (TrieIterator, CSRCursor, ShardedCursor, OverlayCursor): Open
+// descends to the first child of the current node, Up pops back, Next and
+// SeekGE move within the current level in increasing key order (no-ops at
+// the end of a level; callers check AtEnd). It mirrors the engine-facing
+// core.TrieCursor interface so backends can hand cursors up without
+// wrapping.
+type Cursor interface {
+	Open()
+	Up()
+	Next()
+	SeekGE(v int64)
+	AtEnd() bool
+	Key() int64
+}
+
 // TrieIterator presents a sorted relation as a trie, the interface Leapfrog
 // Triejoin is defined against (paper §2.2 and [15]): at depth d it iterates
 // the distinct values of column d among rows sharing the currently selected

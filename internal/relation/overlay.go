@@ -1,0 +1,500 @@
+package relation
+
+// Overlay is an incrementally maintainable CSR trie: an immutable base trie
+// plus two small sorted logs — adds (tuples present but absent from the
+// base) and dels (base tuples that have been deleted) — materialized as
+// tiny CSR tries of their own. Cursors and gap probes merge the three at
+// trie-cursor level, so an update batch costs O(|log|) instead of the
+// O(arity · n) full trie rebuild the plain CSR backend would need; when the
+// logs grow past a fraction of the base, Apply compacts them into a fresh
+// base trie and starts over. This is the structure that lets incremental
+// views (internal/incremental) keep their delta-query atoms on the fast CSR
+// backend instead of pinning the flat reference backend.
+//
+// Invariants (established by the caller, checked against in Apply):
+// adds ∩ base = ∅, dels ⊆ base, adds ∩ dels = ∅. An Overlay is immutable —
+// Apply returns a new snapshot sharing the unchanged parts — so concurrent
+// cursors over an old snapshot stay valid while a writer installs a new
+// one.
+type Overlay struct {
+	rel          *Relation // base rows (the snapshot the base trie indexes)
+	base         *CSRTrie
+	adds, dels   *Relation
+	addsT, delsT *CSRTrie
+}
+
+// Compaction thresholds: fold the logs into the base once they hold at
+// least overlayCompactMin tuples and at least a quarter of the base size
+// (so small relations compact eagerly and large ones amortize), or
+// unconditionally past overlayCompactMax.
+const (
+	overlayCompactMin = 16
+	overlayCompactMax = 1 << 14
+)
+
+// NewOverlay wraps a sorted relation as an overlay with empty logs. The
+// base trie is built here (or pass one already built via NewOverlayTrie).
+func NewOverlay(r *Relation) *Overlay {
+	return &Overlay{rel: r, base: NewCSRTrie(r)}
+}
+
+// Name returns the indexed relation's name.
+func (o *Overlay) Name() string { return o.rel.name }
+
+// Arity returns the number of attributes.
+func (o *Overlay) Arity() int { return o.rel.arity }
+
+// Len returns the live tuple count: base − deleted + added.
+func (o *Overlay) Len() int {
+	n := o.rel.n
+	if o.dels != nil {
+		n -= o.dels.n
+	}
+	if o.adds != nil {
+		n += o.adds.n
+	}
+	return n
+}
+
+// LogLen returns the total log size (tests observe compaction through it).
+func (o *Overlay) LogLen() int {
+	n := 0
+	if o.adds != nil {
+		n += o.adds.n
+	}
+	if o.dels != nil {
+		n += o.dels.n
+	}
+	return n
+}
+
+// pristine reports whether the overlay carries no pending deltas.
+func (o *Overlay) pristine() bool { return o.LogLen() == 0 }
+
+// Apply returns a new overlay snapshot with the update batch folded into
+// the logs (or, past the compaction threshold, into a fresh base trie).
+// ins must be absent from the overlay's current contents and dels present
+// in them, with ins ∩ dels = ∅ — core.DB.ApplyDelta filters the raw batch
+// down to exactly that before calling. Tuples that cancel a pending log
+// entry (re-inserting a deleted tuple, deleting a pending insert) shrink
+// the logs instead of growing them. Cost per batch is one linear merge of
+// each log plus the rebuild of the two small log tries — O(|log| +
+// |batch|·log n), with |log| bounded by the compaction threshold.
+func (o *Overlay) Apply(ins, dels [][]int64) *Overlay {
+	if len(ins) == 0 && len(dels) == 0 {
+		return o
+	}
+	// A tuple on both sides of one batch is an insert-then-delete: a no-op
+	// for the overlay (DB.ApplyDelta never sends these, but be robust).
+	var both map[string]bool
+	if len(ins) > 0 && len(dels) > 0 {
+		insKeys := make(map[string]bool, len(ins))
+		for _, t := range ins {
+			insKeys[TupleKey(t)] = true
+		}
+		for _, t := range dels {
+			if k := TupleKey(t); insKeys[k] {
+				if both == nil {
+					both = make(map[string]bool)
+				}
+				both[k] = true
+			}
+		}
+	}
+	// Split the batch against the pending logs. An insert either restores a
+	// tuple with a pending tombstone (shrinking dels) or is genuinely new
+	// (growing adds); a delete either cancels a pending insert (shrinking
+	// adds) or tombstones a base tuple (growing dels).
+	var insNew, insRestored, delsBase, delsPending [][]int64
+	for _, t := range ins {
+		if both[TupleKey(t)] {
+			continue
+		}
+		if o.dels != nil && o.dels.Contains(t) {
+			insRestored = append(insRestored, t)
+		} else {
+			insNew = append(insNew, t)
+		}
+	}
+	for _, t := range dels {
+		if both[TupleKey(t)] {
+			continue
+		}
+		if o.adds != nil && o.adds.Contains(t) {
+			delsPending = append(delsPending, t)
+		} else {
+			delsBase = append(delsBase, t)
+		}
+	}
+	next := &Overlay{rel: o.rel, base: o.base}
+	next.adds = mergeLog(o.adds, o.rel.name+"+", o.rel.arity, insNew, delsPending)
+	next.dels = mergeLog(o.dels, o.rel.name+"-", o.rel.arity, delsBase, insRestored)
+	if n := next.LogLen(); n >= overlayCompactMax || (n >= overlayCompactMin && 4*n >= o.rel.n) {
+		return next.compact()
+	}
+	if next.adds != nil {
+		next.addsT = NewCSRTrie(next.adds)
+	}
+	if next.dels != nil {
+		next.delsT = NewCSRTrie(next.dels)
+	}
+	return next
+}
+
+// mergeLog folds additions and removals into a sorted log with one linear
+// merge (add ∩ log = ∅ and remove ⊆ log hold by construction in Apply).
+// Empty logs stay nil so the pristine fast path keeps applying.
+func mergeLog(log *Relation, name string, arity int, add, remove [][]int64) *Relation {
+	if log == nil {
+		if len(add) == 0 {
+			return nil
+		}
+		return FromTuples(name, arity, add)
+	}
+	merged := MergeDelta(log, FromTuples(name, arity, add), FromTuples(name, arity, remove))
+	if merged.Len() == 0 {
+		return nil
+	}
+	return merged
+}
+
+// compact folds the logs into a fresh base relation and trie.
+func (o *Overlay) compact() *Overlay {
+	return NewOverlay(MergeDelta(o.rel, o.adds, o.dels))
+}
+
+// NewCursor returns a trie cursor over the overlay's merged contents. A
+// pristine overlay hands out the base trie's cursor directly — the overlay
+// costs nothing until the first delta arrives.
+func (o *Overlay) NewCursor() Cursor {
+	if o.pristine() {
+		return NewCSRCursor(o.base)
+	}
+	c := &OverlayCursor{o: o, b: NewCSRCursor(o.base), pure: o.rel.arity + 1}
+	if o.addsT != nil {
+		c.a = NewCSRCursor(o.addsT)
+	}
+	if o.delsT != nil {
+		c.d = NewCSRCursor(o.delsT)
+	}
+	return c
+}
+
+// OverlayCursor merges the base trie (with deleted subtrees masked out) and
+// the adds trie into one trie cursor. At every level the visible key set is
+// {base keys whose subtree is not fully deleted} ∪ {adds keys}; Open
+// descends whichever sides carry the selected key, with the dels trie
+// tracking the base path to answer the fully-deleted test via subtree
+// spans.
+//
+// Because the logs are small relative to the base, almost every subtree is
+// untouched by them: once both log sides go dead on the current path
+// (tracked in pure), every operation below that depth delegates straight to
+// the base cursor — one integer compare of overhead — so the merged cursor
+// costs only where a delta actually landed.
+type OverlayCursor struct {
+	o     *Overlay
+	b     *CSRCursor // base; always non-nil
+	a     *CSRCursor // adds; nil when the adds log is empty
+	d     *CSRCursor // dels; nil when the dels log is empty
+	depth int
+	// pure is the shallowest opened depth at which only the base side is
+	// active; at depths >= pure the cursor is exactly the base cursor. An
+	// unreachable sentinel (> arity) means the path is still merged.
+	pure int
+	// Per opened level up to pure: whether each side holds the current
+	// path prefix.
+	bOn, aOn, dOn []bool
+}
+
+func (c *OverlayCursor) push(b, a, d bool) {
+	c.bOn = append(c.bOn, b)
+	c.aOn = append(c.aOn, a)
+	c.dOn = append(c.dOn, d)
+	c.depth++
+}
+
+// bLive reports whether the base side is active and holds a key at the
+// current level (after deleted-subtree skipping).
+func (c *OverlayCursor) bLive() bool { return c.bOn[c.depth-1] && !c.b.AtEnd() }
+
+func (c *OverlayCursor) aLive() bool { return c.a != nil && c.aOn[c.depth-1] && !c.a.AtEnd() }
+
+// skipDeleted advances the base cursor past keys whose subtrees are fully
+// deleted, keeping the dels cursor aligned. The base cursor's position
+// invariant after every move: it rests on a visible key or at the end of
+// the level.
+func (c *OverlayCursor) skipDeleted() {
+	if !c.bOn[c.depth-1] || c.d == nil || !c.dOn[c.depth-1] {
+		return
+	}
+	for !c.b.AtEnd() {
+		c.d.SeekGE(c.b.Key())
+		if c.d.AtEnd() || c.d.Key() != c.b.Key() || c.d.Span() < c.b.Span() {
+			return
+		}
+		c.b.Next()
+	}
+}
+
+// Open descends one level to the current node's first child.
+func (c *OverlayCursor) Open() {
+	if c.depth == c.o.rel.arity {
+		panic("relation: OverlayCursor.Open below leaf level")
+	}
+	if c.depth >= c.pure {
+		c.b.Open()
+		c.depth++
+		return
+	}
+	if c.depth == 0 {
+		c.b.Open()
+		if c.a != nil {
+			c.a.Open()
+		}
+		if c.d != nil {
+			c.d.Open()
+		}
+		c.push(true, c.a != nil, c.d != nil)
+		c.skipDeleted()
+		return
+	}
+	if c.AtEnd() {
+		panic("relation: OverlayCursor.Open at end of level")
+	}
+	k := c.Key()
+	bHas := c.bLive() && c.b.Key() == k
+	aHas := c.aLive() && c.a.Key() == k
+	dHas := false
+	if bHas && c.d != nil && c.dOn[c.depth-1] {
+		c.d.SeekGE(k)
+		dHas = !c.d.AtEnd() && c.d.Key() == k
+	}
+	if bHas {
+		c.b.Open()
+	}
+	if aHas {
+		c.a.Open()
+	}
+	if dHas {
+		c.d.Open()
+	}
+	c.push(bHas, aHas, dHas)
+	if bHas && !aHas && !dHas {
+		c.pure = c.depth // this subtree is untouched by the logs
+		return
+	}
+	c.skipDeleted()
+}
+
+// Up pops back to the previous level. It panics at the root.
+func (c *OverlayCursor) Up() {
+	if c.depth == 0 {
+		panic("relation: OverlayCursor.Up at root")
+	}
+	if c.depth > c.pure {
+		c.b.Up()
+		c.depth--
+		return
+	}
+	top := c.depth - 1
+	if c.bOn[top] {
+		c.b.Up()
+	}
+	if c.aOn[top] {
+		c.a.Up()
+	}
+	if c.dOn[top] {
+		c.d.Up()
+	}
+	c.bOn = c.bOn[:top]
+	c.aOn = c.aOn[:top]
+	c.dOn = c.dOn[:top]
+	c.depth--
+	if c.depth < c.pure {
+		c.pure = c.o.rel.arity + 1 // left the pure subtree
+	}
+}
+
+// AtEnd reports whether the current level is exhausted.
+func (c *OverlayCursor) AtEnd() bool {
+	if c.depth >= c.pure {
+		return c.b.AtEnd()
+	}
+	return !c.bLive() && !c.aLive()
+}
+
+// Key returns the current key at the current level: the least key either
+// side offers.
+func (c *OverlayCursor) Key() int64 {
+	if c.depth >= c.pure {
+		return c.b.Key()
+	}
+	bOk, aOk := c.bLive(), c.aLive()
+	switch {
+	case bOk && aOk:
+		bk, ak := c.b.Key(), c.a.Key()
+		if bk <= ak {
+			return bk
+		}
+		return ak
+	case bOk:
+		return c.b.Key()
+	default:
+		return c.a.Key()
+	}
+}
+
+// Next advances to the next distinct visible key.
+func (c *OverlayCursor) Next() {
+	if c.depth >= c.pure {
+		c.b.Next()
+		return
+	}
+	if c.AtEnd() {
+		return
+	}
+	k := c.Key()
+	if c.bLive() && c.b.Key() == k {
+		c.b.Next()
+		c.skipDeleted()
+	}
+	if c.aLive() && c.a.Key() == k {
+		c.a.Next()
+	}
+}
+
+// SeekGE positions at the least visible key >= v at the current level.
+// Seeking backwards is a no-op.
+func (c *OverlayCursor) SeekGE(v int64) {
+	if c.depth >= c.pure {
+		c.b.SeekGE(v)
+		return
+	}
+	if c.AtEnd() || c.Key() >= v {
+		return
+	}
+	if c.bLive() {
+		c.b.SeekGE(v)
+		c.skipDeleted()
+	}
+	if c.aLive() {
+		c.a.SeekGE(v)
+	}
+}
+
+// ProbeGap is Relation.ProbeGap over the overlay's merged contents: walk
+// the three tries level by level, treating a base node as present only
+// while its subtree is not fully deleted, and report gap endpoints as the
+// tightest visible neighbours across the base and adds sides. Semantics
+// match the flat reference exactly (the overlay differential tests pin
+// this).
+func (o *Overlay) ProbeGap(point []int64) (Gap, bool) {
+	if o.pristine() {
+		return o.base.ProbeGap(point)
+	}
+	arity := o.rel.arity
+	if len(point) != arity {
+		panic("relation: ProbeGap point length mismatch")
+	}
+	bLo, bHi := int32(0), int32(len(o.base.levels[0].vals))
+	bOk := true
+	var aLo, aHi int32
+	aOk := o.addsT != nil
+	if aOk {
+		aHi = int32(len(o.addsT.levels[0].vals))
+	}
+	var dLo, dHi int32
+	dOk := o.delsT != nil
+	if dOk {
+		dHi = int32(len(o.delsT.levels[0].vals))
+	}
+	for col := 0; col < arity; col++ {
+		v := point[col]
+		var bPos, aPos, dPos int32
+		bHas, aHas, dHas := false, false, false
+		var bvals, avals, dvals []int64
+		if bOk {
+			bvals = o.base.levels[col].vals
+			bPos = lowerBound64(bvals, bLo, bHi, v)
+			bHas = bPos < bHi && bvals[bPos] == v
+		}
+		if dOk {
+			dvals = o.delsT.levels[col].vals
+			dPos = lowerBound64(dvals, dLo, dHi, v)
+			dHas = dPos < dHi && dvals[dPos] == v
+		}
+		bVis := bHas && !(dHas && o.delsT.levels[col].span(dPos) == o.base.levels[col].span(bPos))
+		if aOk {
+			avals = o.addsT.levels[col].vals
+			aPos = lowerBound64(avals, aLo, aHi, v)
+			aHas = aPos < aHi && avals[aPos] == v
+		}
+		if bVis || aHas {
+			if col+1 < arity {
+				if bVis {
+					bLo, bHi = o.base.levels[col+1].start[bPos], o.base.levels[col+1].start[bPos+1]
+				} else {
+					bOk = false
+				}
+				if dOk = bVis && dHas; dOk {
+					dLo, dHi = o.delsT.levels[col+1].start[dPos], o.delsT.levels[col+1].start[dPos+1]
+				}
+				if aHas {
+					aLo, aHi = o.addsT.levels[col+1].start[aPos], o.addsT.levels[col+1].start[aPos+1]
+				} else {
+					aOk = false
+				}
+			}
+			continue
+		}
+		g := Gap{Col: col, Lo: NegInf, Hi: PosInf}
+		if aOk {
+			if aPos > aLo {
+				g.Lo = avals[aPos-1]
+			}
+			if aPos < aHi {
+				g.Hi = avals[aPos]
+			}
+		}
+		if bOk {
+			for i := bPos - 1; i >= bLo; i-- {
+				if o.baseVisible(col, i, dOk, dLo, dHi) {
+					if bvals[i] > g.Lo {
+						g.Lo = bvals[i]
+					}
+					break
+				}
+			}
+			lub := bPos
+			if bHas { // present in base but fully deleted
+				lub++
+			}
+			for i := lub; i < bHi; i++ {
+				if o.baseVisible(col, i, dOk, dLo, dHi) {
+					if bvals[i] < g.Hi {
+						g.Hi = bvals[i]
+					}
+					break
+				}
+			}
+		}
+		return g, false
+	}
+	return Gap{}, true
+}
+
+// baseVisible reports whether base node i at the given level survives the
+// dels log (its subtree is not fully deleted).
+func (o *Overlay) baseVisible(col int, i int32, dOk bool, dLo, dHi int32) bool {
+	if !dOk {
+		return true
+	}
+	dvals := o.delsT.levels[col].vals
+	k := o.base.levels[col].vals[i]
+	dp := lowerBound64(dvals, dLo, dHi, k)
+	if dp < dHi && dvals[dp] == k && o.delsT.levels[col].span(dp) == o.base.levels[col].span(i) {
+		return false
+	}
+	return true
+}

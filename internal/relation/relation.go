@@ -103,6 +103,58 @@ func FromTuples(name string, arity int, tuples [][]int64) *Relation {
 	return b.Build()
 }
 
+// fromSortedRows wraps an already sorted, deduplicated row-major slice as a
+// Relation without copying or re-sorting. The caller must not mutate rows
+// afterwards.
+func fromSortedRows(name string, arity int, rows []int64) *Relation {
+	return &Relation{name: name, arity: arity, rows: rows, n: len(rows) / arity}
+}
+
+// MergeDelta returns r ∪ ins \ dels as a new relation by one linear merge
+// of the three sorted row sets — no re-sort, so applying a small update
+// batch to a large relation costs O(n) copying instead of O(n log n). ins
+// must be disjoint from r and dels a subset of r (both may be nil); the
+// incremental-maintenance path (core.DB.ApplyDelta) establishes exactly
+// these invariants before calling.
+func MergeDelta(r, ins, dels *Relation) *Relation {
+	insN, delsN := 0, 0
+	if ins != nil {
+		insN = ins.n
+	}
+	if dels != nil {
+		delsN = dels.n
+	}
+	if insN == 0 && delsN == 0 {
+		return r
+	}
+	a := r.arity
+	out := make([]int64, 0, (r.n+insN-delsN)*a)
+	i, j, k := 0, 0, 0 // cursors into r, ins, dels
+	for i < r.n || j < insN {
+		// Emit the smaller head of r (minus dels) and ins.
+		takeIns := i >= r.n
+		if !takeIns && j < insN && CompareTuples(ins.Tuple(j), r.Tuple(i)) < 0 {
+			takeIns = true
+		}
+		if takeIns {
+			out = append(out, ins.Tuple(j)...)
+			j++
+			continue
+		}
+		t := r.Tuple(i)
+		i++
+		for k < delsN && CompareTuples(dels.Tuple(k), t) < 0 {
+			k++
+		}
+		if k < delsN && CompareTuples(dels.Tuple(k), t) == 0 {
+			k++
+			continue
+		}
+		out = append(out, t...)
+	}
+	return fromSortedRows(r.name, a, out)
+}
+
 // rowSorter sorts a flat row-major slice lexicographically without
 // allocating per-row slices.
 type rowSorter struct {
@@ -258,6 +310,19 @@ func prefixEqual(r *Relation, i, j, length int) bool {
 		}
 	}
 	return true
+}
+
+// TupleKey encodes a tuple as a comparison-stable byte string, for use as a
+// map key (8 bytes per value). The one tuple-set encoding shared by the
+// layers that deduplicate tuples (delta filtering, incremental views).
+func TupleKey(t []int64) string {
+	b := make([]byte, 0, len(t)*8)
+	for _, v := range t {
+		u := uint64(v)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return string(b)
 }
 
 // CompareTuples compares two equal-length tuples lexicographically.

@@ -1,0 +1,289 @@
+package relation
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+)
+
+// ShardedCSR partitions the attribute trie of a sorted relation into
+// disjoint CSR tries by contiguous ranges of the first attribute — the
+// physical layout Zinn's partitioned-LFTJ triangle study builds its
+// out-of-core evaluation on: every first-attribute value lives in exactly
+// one shard, so a worker restricted to one first-attribute range touches
+// only that shard's arrays and shares no cache lines with the other
+// workers. Because the shards are themselves complete CSR tries over row
+// slices of the base relation (no copying), build cost and total memory
+// match the unsharded CSR trie.
+//
+// A ShardedCSR is immutable and safe for concurrent cursors; Restrict
+// returns a cheap view over a subset of the shards for the §4.10 parallel
+// jobs.
+type ShardedCSR struct {
+	name  string
+	arity int
+	n     int
+	// starts[i] is the smallest first-attribute value of shard i; shard i
+	// covers the value range [starts[i], starts[i+1]) (the last shard is
+	// unbounded above). len(starts) == len(shards).
+	starts []int64
+	shards []*CSRTrie
+}
+
+// DefaultShards picks the shard count when the caller does not: a few
+// shards per core, so the §4.10 work-stealing pool has stealing slack when
+// jobs are mapped one-to-one onto shards.
+func DefaultShards() int {
+	return 4 * runtime.GOMAXPROCS(0)
+}
+
+// NewShardedCSR partitions r into up to `shards` contiguous first-attribute
+// ranges of roughly equal row counts (cut points always fall on
+// first-attribute value boundaries) and materializes one CSR trie per
+// range. shards <= 0 selects DefaultShards.
+func NewShardedCSR(r *Relation, shards int) *ShardedCSR {
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	t := &ShardedCSR{name: r.name, arity: r.arity, n: r.n}
+	if r.n == 0 {
+		return t
+	}
+	target := (r.n + shards - 1) / shards
+	lo := 0
+	for lo < r.n {
+		hi := lo + target
+		if hi >= r.n {
+			hi = r.n
+		} else {
+			// Grow the cut to the next first-attribute boundary so a value's
+			// whole subtree stays in one shard.
+			v := r.Value(hi-1, 0)
+			for hi < r.n && r.Value(hi, 0) == v {
+				hi++
+			}
+		}
+		sub := fromSortedRows(r.name, r.arity, r.rows[lo*r.arity:hi*r.arity])
+		t.starts = append(t.starts, r.Value(lo, 0))
+		t.shards = append(t.shards, NewCSRTrie(sub))
+		lo = hi
+	}
+	return t
+}
+
+// Name returns the indexed relation's name.
+func (t *ShardedCSR) Name() string { return t.name }
+
+// Arity returns the number of attributes.
+func (t *ShardedCSR) Arity() int { return t.arity }
+
+// Len returns the number of tuples across all shards.
+func (t *ShardedCSR) Len() int { return t.n }
+
+// NumShards returns the shard count.
+func (t *ShardedCSR) NumShards() int { return len(t.shards) }
+
+// Shard returns shard i's CSR trie. A job whose Restrict view resolves to a
+// single shard can iterate the shard trie directly, skipping the composed
+// cursor's indirection entirely.
+func (t *ShardedCSR) Shard(i int) *CSRTrie { return t.shards[i] }
+
+// ShardStarts returns the smallest first-attribute value of each shard, in
+// increasing order. The §4.10 parallel planner aligns its job cut points
+// with these so every job binds exactly one shard.
+func (t *ShardedCSR) ShardStarts() []int64 {
+	return append([]int64(nil), t.starts...)
+}
+
+func (t *ShardedCSR) String() string {
+	return fmt.Sprintf("csr-sharded(%s/%d)[%d tuples, %d shards]", t.name, t.arity, t.n, len(t.shards))
+}
+
+// shardFor returns the index of the shard whose range contains v, or -1
+// when v precedes every shard.
+func (t *ShardedCSR) shardFor(v int64) int {
+	return sort.Search(len(t.starts), func(i int) bool { return t.starts[i] > v }) - 1
+}
+
+// Restrict returns a view over the shards whose first-attribute ranges
+// intersect [lo, hi) — the disjoint physical index a parallel job binds.
+// The view shares the shard tries (no copying). Within [lo, hi) the view
+// answers cursor walks and gap probes exactly as the full index would;
+// outside it, reported gaps may overreach into ranges the view does not
+// cover, which is sound for jobs that only explore first-attribute values
+// inside their own range.
+func (t *ShardedCSR) Restrict(lo, hi int64) *ShardedCSR {
+	if len(t.shards) == 0 {
+		return t
+	}
+	j1 := t.shardFor(lo)
+	if j1 < 0 {
+		j1 = 0
+	}
+	j2 := sort.Search(len(t.starts), func(i int) bool { return t.starts[i] >= hi })
+	if j2 <= j1 {
+		j2 = j1 + 1 // keep at least the shard containing lo
+	}
+	if j1 == 0 && j2 == len(t.shards) {
+		return t
+	}
+	out := &ShardedCSR{name: t.name, arity: t.arity, starts: t.starts[j1:j2], shards: t.shards[j1:j2]}
+	for _, s := range out.shards {
+		out.n += s.Len()
+	}
+	return out
+}
+
+// ProbeGap is Relation.ProbeGap over the sharded trie: the first attribute
+// selects the shard, the shard answers, and column-0 gaps that run off a
+// shard's end are clamped to the neighbouring shard's boundary keys so the
+// reported box is empty in the whole relation.
+func (t *ShardedCSR) ProbeGap(point []int64) (Gap, bool) {
+	if len(point) != t.arity {
+		panic("relation: ProbeGap point length mismatch")
+	}
+	if len(t.shards) == 0 {
+		return Gap{Col: 0, Lo: NegInf, Hi: PosInf}, false
+	}
+	j := t.shardFor(point[0])
+	if j < 0 {
+		return Gap{Col: 0, Lo: NegInf, Hi: t.starts[0]}, false
+	}
+	g, found := t.shards[j].ProbeGap(point)
+	if found || g.Col != 0 {
+		return g, found
+	}
+	if g.Lo == NegInf && j > 0 {
+		prev := t.shards[j-1].levels[0].vals
+		g.Lo = prev[len(prev)-1]
+	}
+	if g.Hi == PosInf && j+1 < len(t.shards) {
+		g.Hi = t.starts[j+1]
+	}
+	return g, false
+}
+
+// ShardedCursor composes the shard tries into one trie cursor: level 0
+// concatenates the shards' level-0 keys in order (crossing shard boundaries
+// on Next/SeekGE), and every deeper level delegates to the shard that owns
+// the selected first-attribute value.
+type ShardedCursor struct {
+	t       *ShardedCSR
+	s       int
+	cur     *CSRCursor // active shard's cursor; nil before Open or when empty
+	cursors []*CSRCursor
+	depth   int
+}
+
+// NewShardedCursor returns a cursor positioned at the trie's virtual root.
+func NewShardedCursor(t *ShardedCSR) *ShardedCursor {
+	return &ShardedCursor{t: t, cursors: make([]*CSRCursor, len(t.shards))}
+}
+
+func (c *ShardedCursor) cursor(i int) *CSRCursor {
+	if c.cursors[i] == nil {
+		c.cursors[i] = NewCSRCursor(c.t.shards[i])
+	}
+	return c.cursors[i]
+}
+
+// Depth returns the number of currently opened levels.
+func (c *ShardedCursor) Depth() int { return c.depth }
+
+// Open descends one level to the current node's first child.
+func (c *ShardedCursor) Open() {
+	if c.depth == c.t.arity {
+		panic("relation: ShardedCursor.Open below leaf level")
+	}
+	if c.depth == 0 {
+		c.depth = 1
+		if len(c.t.shards) == 0 {
+			return // empty relation: level 0 opens exhausted (cur == nil)
+		}
+		c.s = 0
+		c.cur = c.cursor(0)
+		c.cur.Open()
+		return
+	}
+	if c.AtEnd() {
+		panic("relation: ShardedCursor.Open at end of level")
+	}
+	c.cur.Open()
+	c.depth++
+}
+
+// Up pops back to the previous level. It panics at the root.
+func (c *ShardedCursor) Up() {
+	if c.depth == 0 {
+		panic("relation: ShardedCursor.Up at root")
+	}
+	if c.cur != nil {
+		c.cur.Up()
+	}
+	c.depth--
+	if c.depth == 0 {
+		c.cur = nil
+		c.s = 0
+	}
+}
+
+// AtEnd reports whether the current level is exhausted. At level 0 the
+// crossing logic in Next/SeekGE keeps the cursor on a non-exhausted shard
+// until the last shard runs out.
+func (c *ShardedCursor) AtEnd() bool {
+	if c.cur == nil {
+		return true
+	}
+	return c.cur.AtEnd()
+}
+
+// Key returns the current key at the current level.
+func (c *ShardedCursor) Key() int64 { return c.cur.Key() }
+
+// Next advances to the next distinct key, crossing into the next shard when
+// the current one's level-0 keys are exhausted.
+func (c *ShardedCursor) Next() {
+	if c.cur == nil {
+		return
+	}
+	c.cur.Next()
+	if c.depth == 1 {
+		c.advanceShard()
+	}
+}
+
+// SeekGE positions at the least key >= v at the current level. At level 0 a
+// far seek jumps directly to the shard whose range contains v instead of
+// galloping through the intermediate shards.
+func (c *ShardedCursor) SeekGE(v int64) {
+	if c.cur == nil {
+		return
+	}
+	if c.depth > 1 {
+		c.cur.SeekGE(v)
+		return
+	}
+	if c.cur.AtEnd() || c.cur.Key() >= v {
+		return
+	}
+	if j := c.t.shardFor(v); j > c.s {
+		c.cur.Up()
+		c.s = j
+		c.cur = c.cursor(j)
+		c.cur.Open()
+	}
+	c.cur.SeekGE(v)
+	c.advanceShard()
+}
+
+// advanceShard moves to the next shard's first key while the active shard's
+// level-0 keys are exhausted (shards are never empty, so one step suffices,
+// but the loop keeps the invariant obvious).
+func (c *ShardedCursor) advanceShard() {
+	for c.cur.AtEnd() && c.s+1 < len(c.t.shards) {
+		c.cur.Up()
+		c.s++
+		c.cur = c.cursor(c.s)
+		c.cur.Open()
+	}
+}

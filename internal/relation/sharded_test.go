@@ -1,0 +1,168 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestShardedWalkMatchesFlat checks the composed sharded cursor against the
+// flat trie iterator over full depth-first walks, across arities and shard
+// counts (including more shards than distinct first keys).
+func TestShardedWalkMatchesFlat(t *testing.T) {
+	for _, tc := range []struct{ arity, n, domain, shards int }{
+		{1, 50, 10, 4},
+		{2, 200, 12, 1},
+		{2, 200, 12, 3},
+		{2, 200, 12, 64},
+		{3, 300, 8, 5},
+		{4, 400, 6, 7},
+	} {
+		r := randomRelation(rand.New(rand.NewSource(int64(tc.arity*1000+tc.shards))), tc.arity, tc.n, tc.domain)
+		sh := NewShardedCSR(r, tc.shards)
+		if sh.Len() != r.Len() || sh.Arity() != r.Arity() || sh.Name() != r.Name() {
+			t.Fatalf("sharded header mismatch: %v vs %v", sh, r)
+		}
+		flat := walk(NewTrieIterator(r), r.Arity())
+		got := walk(NewShardedCursor(sh), r.Arity())
+		if !reflect.DeepEqual(flat, got) {
+			t.Errorf("arity %d shards %d: sharded walk differs from flat (flat %d visits, sharded %d)",
+				tc.arity, tc.shards, len(flat), len(got))
+		}
+	}
+}
+
+// TestShardedSeekGEMatchesFlat drives the shard-crossing SeekGE path against
+// the flat reference, including far seeks that jump shards.
+func TestShardedSeekGEMatchesFlat(t *testing.T) {
+	r := randomRelation(rand.New(rand.NewSource(7)), 3, 500, 20)
+	sh := NewShardedCSR(r, 6)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		seeks := []int64{int64(rng.Intn(22)), int64(rng.Intn(22)), int64(rng.Intn(22))}
+		flat := walkWithSeeks(NewTrieIterator(r), 3, seeks)
+		got := walkWithSeeks(NewShardedCursor(sh), 3, seeks)
+		if !reflect.DeepEqual(flat, got) {
+			t.Fatalf("seek walk %v: sharded differs from flat", seeks)
+		}
+	}
+}
+
+// TestShardedProbeGapMatchesFlat checks gap probes across shard boundaries:
+// column-0 gaps spanning two shards must be clamped to the neighbouring
+// shard's boundary keys, exactly reproducing the flat reference.
+func TestShardedProbeGapMatchesFlat(t *testing.T) {
+	for _, arity := range []int{1, 2, 3} {
+		r := randomRelation(rand.New(rand.NewSource(int64(40+arity))), arity, 300, 9)
+		sh := NewShardedCSR(r, 5)
+		rng := rand.New(rand.NewSource(int64(arity)))
+		point := make([]int64, arity)
+		for trial := 0; trial < 2000; trial++ {
+			for k := range point {
+				point[k] = int64(rng.Intn(11)) // domain+2: probes off both ends
+			}
+			fg, ffound := r.ProbeGap(point)
+			sg, sfound := sh.ProbeGap(point)
+			if ffound != sfound || fg != sg {
+				t.Fatalf("arity %d point %v: flat (%v, %v) vs sharded (%v, %v)", arity, point, fg, ffound, sg, sfound)
+			}
+		}
+	}
+}
+
+// TestShardedPartition pins the partition invariants: shards are disjoint
+// and contiguous, boundaries fall on first-attribute value changes, and the
+// tuple counts add up.
+func TestShardedPartition(t *testing.T) {
+	r := randomRelation(rand.New(rand.NewSource(3)), 2, 400, 15)
+	sh := NewShardedCSR(r, 4)
+	if sh.NumShards() < 2 {
+		t.Fatalf("expected multiple shards, got %d", sh.NumShards())
+	}
+	starts := sh.ShardStarts()
+	total := 0
+	for i, s := range sh.shards {
+		total += s.Len()
+		first := s.levels[0].vals[0]
+		last := s.levels[0].vals[len(s.levels[0].vals)-1]
+		if first != starts[i] {
+			t.Errorf("shard %d first key %d != start %d", i, first, starts[i])
+		}
+		if i+1 < len(starts) && last >= starts[i+1] {
+			t.Errorf("shard %d last key %d overlaps next start %d", i, last, starts[i+1])
+		}
+	}
+	if total != r.Len() {
+		t.Errorf("shard tuple counts sum to %d, want %d", total, r.Len())
+	}
+}
+
+// TestShardedRestrict checks that a restricted view walks exactly the keys
+// of its covered range and clamps probes at its true (global) boundaries
+// within the range.
+func TestShardedRestrict(t *testing.T) {
+	r := randomRelation(rand.New(rand.NewSource(11)), 2, 300, 30)
+	sh := NewShardedCSR(r, 5)
+	starts := sh.ShardStarts()
+	if len(starts) < 3 {
+		t.Skip("too few shards")
+	}
+	lo, hi := starts[1], starts[2]
+	view := sh.Restrict(lo, hi)
+	if view.NumShards() != 1 {
+		t.Fatalf("restrict to one shard range got %d shards", view.NumShards())
+	}
+	// Every key in [lo, hi) visible in the full index must be visible in the
+	// view, with identical subtrees.
+	full := NewShardedCursor(sh)
+	sub := NewShardedCursor(view)
+	full.Open()
+	sub.Open()
+	full.SeekGE(lo)
+	sub.SeekGE(lo)
+	for !full.AtEnd() && full.Key() < hi {
+		if sub.AtEnd() || sub.Key() != full.Key() {
+			t.Fatalf("restricted view misses key %d", full.Key())
+		}
+		full.Next()
+		sub.Next()
+	}
+	// Within the range, gap probes agree with the flat reference.
+	rng := rand.New(rand.NewSource(5))
+	point := make([]int64, 2)
+	for trial := 0; trial < 500; trial++ {
+		point[0] = lo + int64(rng.Intn(int(hi-lo)))
+		point[1] = int64(rng.Intn(32))
+		fg, ffound := r.ProbeGap(point)
+		vg, vfound := view.ProbeGap(point)
+		if ffound != vfound {
+			t.Fatalf("point %v: found mismatch", point)
+		}
+		if !vfound && vg.Col > 0 && vg != fg {
+			t.Fatalf("point %v: deep gap mismatch flat %v view %v", point, fg, vg)
+		}
+		// Column-0 gaps may overreach beyond the view's range but must
+		// contain the true gap (never claim a present key empty... the
+		// other way: never report a tighter box than reality).
+		if !vfound && vg.Col == 0 && (vg.Lo > fg.Lo || vg.Hi < fg.Hi) {
+			t.Fatalf("point %v: restricted gap %v tighter than flat %v", point, vg, fg)
+		}
+	}
+}
+
+// TestShardedEmptyRelation: the zero-shard cursor opens exhausted and the
+// probe reports the full empty box.
+func TestShardedEmptyRelation(t *testing.T) {
+	r := FromTuples("E", 2, nil)
+	sh := NewShardedCSR(r, 3)
+	c := NewShardedCursor(sh)
+	c.Open()
+	if !c.AtEnd() {
+		t.Error("empty sharded trie: level 0 not at end")
+	}
+	c.Up()
+	g, found := sh.ProbeGap([]int64{1, 2})
+	if found || g != (Gap{Col: 0, Lo: NegInf, Hi: PosInf}) {
+		t.Errorf("empty probe = (%v, %v)", g, found)
+	}
+}

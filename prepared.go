@@ -145,8 +145,8 @@ type Explanation struct {
 	Planned bool
 	// GAO is the resolved global attribute order (nil when not Planned).
 	GAO []string
-	// Backend is the index backend every atom is bound under ("flat" or
-	// "csr"; empty when not Planned).
+	// Backend is the index backend every atom is bound under ("flat",
+	// "csr", or "csr-sharded"; empty when not Planned).
 	Backend string
 	// BetaCyclic reports whether the query needed Minesweeper's skeleton
 	// split (and drives the §4.10 parallel-granularity default).
@@ -216,7 +216,7 @@ func (p *Prepared) Explain() Explanation {
 		ap := AtomPlan{
 			Atom:       p.q.Atoms[i].String(),
 			Index:      fmt.Sprintf("%s(%s)", p.q.Atoms[i].Rel, strings.Join(cols, ", ")),
-			Rows:       a.Rel.Len(),
+			Rows:       a.Index.Len(),
 			InSkeleton: plan.InSkel == nil || plan.InSkel[i],
 		}
 		e.Atoms = append(e.Atoms, ap)

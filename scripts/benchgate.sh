@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# benchgate.sh OLD NEW — benchmark regression gate.
+#
+# Compares two `go test -bench` outputs: for every benchmark name present in
+# both files, the ns/op ratio new/old is computed, and the geometric mean of
+# the ratios must not exceed 1 + BENCHGATE_MAX_REGRESSION (default 0.10,
+# i.e. a >10% aggregate slowdown fails). Individual benchmarks are noisy at
+# -benchtime=1x — the geomean across the whole suite is what gates.
+#
+# Exit codes: 0 pass (or nothing comparable), 1 regression, 2 usage error.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 old-bench.txt new-bench.txt" >&2
+    exit 2
+fi
+old="$1"
+new="$2"
+max="${BENCHGATE_MAX_REGRESSION:-0.10}"
+
+if [ ! -f "$old" ] || [ ! -f "$new" ]; then
+    echo "benchgate: missing input file; skipping gate" >&2
+    exit 0
+fi
+
+# Extract "name ns_per_op" pairs. Benchmark lines look like:
+#   BenchmarkFoo/bar-8   123   45678 ns/op   90 B/op   1 allocs/op
+extract() {
+    awk '/^Benchmark/ && / ns\/op/ {
+        for (i = 1; i <= NF; i++) {
+            if ($i == "ns/op") { print $1, $(i-1); break }
+        }
+    }' "$1"
+}
+
+extract "$old" | sort >/tmp/benchgate.old.$$
+extract "$new" | sort >/tmp/benchgate.new.$$
+trap 'rm -f /tmp/benchgate.old.$$ /tmp/benchgate.new.$$' EXIT
+
+join /tmp/benchgate.old.$$ /tmp/benchgate.new.$$ | awk -v max="$max" '
+    $2 > 0 && $3 > 0 {
+        ratio = $3 / $2
+        sumlog += log(ratio)
+        n++
+        if (ratio >= 1.5)      printf "  slower  %-60s %8.0f -> %8.0f ns/op (%.2fx)\n", $1, $2, $3, ratio
+        else if (ratio <= 0.67) printf "  faster  %-60s %8.0f -> %8.0f ns/op (%.2fx)\n", $1, $2, $3, ratio
+    }
+    END {
+        if (n == 0) {
+            print "benchgate: no comparable benchmarks; skipping gate"
+            exit 0
+        }
+        geomean = exp(sumlog / n)
+        printf "benchgate: %d benchmarks, geomean ratio %.4f (gate: <= %.4f)\n", n, geomean, 1 + max
+        if (geomean > 1 + max) {
+            print "benchgate: FAIL — aggregate benchmark regression above threshold"
+            exit 1
+        }
+        print "benchgate: OK"
+    }'
