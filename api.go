@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
-	"repro/internal/agm"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -13,6 +13,7 @@ import (
 	"repro/internal/minesweeper"
 	"repro/internal/query"
 	"repro/internal/recursive"
+	"repro/internal/relation"
 )
 
 // Model names re-exported for graph generation.
@@ -22,15 +23,56 @@ const (
 	HolmeKim       = dataset.HolmeKim
 )
 
-// Typed failure kinds surfaced by Prepare and the one-shot helpers; branch
-// with errors.Is.
+// Typed failure kinds surfaced by Prepare, ParseQuery, and the one-shot
+// helpers; branch with errors.Is.
 var (
-	// ErrUnknownRelation reports a query atom naming a relation the graph's
+	// ErrUnknownRelation reports a query atom naming a relation the store's
 	// database does not hold.
 	ErrUnknownRelation = core.ErrUnknownRelation
 	// ErrUnboundVar reports a query variable not covered by the supplied
 	// attribute order (or not bound by any atom).
 	ErrUnboundVar = core.ErrUnboundVar
+	// ErrUnboundHeadVar reports a head variable of a rule-form query
+	// ("q(a, b) :- ...") that no body atom binds.
+	ErrUnboundHeadVar = query.ErrUnboundHeadVar
+	// ErrUnknownAlgorithm reports an Options.Algorithm outside the
+	// registered set; Prepare validates eagerly, before engine selection.
+	ErrUnknownAlgorithm = engine.ErrUnknownAlgorithm
+	// ErrUnknownBackend reports an Options.Backend outside the registered
+	// set; Prepare validates eagerly, before index binding.
+	ErrUnknownBackend = core.ErrUnknownBackend
+)
+
+// Algorithm names a join engine; the names match the paper's system labels
+// (§5.1). The zero value selects LFTJ. Prepare rejects anything outside the
+// registered set with ErrUnknownAlgorithm.
+type Algorithm = engine.Algorithm
+
+// Registered algorithms.
+const (
+	LFTJ        = engine.LFTJ
+	MS          = engine.MS
+	Hybrid      = engine.Hybrid
+	PSQL        = engine.PSQL
+	MonetDB     = engine.MonetDB
+	Yannakakis  = engine.Yannakakis
+	GraphLab    = engine.GraphLab
+	GenericJoin = engine.GenericJoin
+)
+
+// Algorithms lists every registered algorithm.
+func Algorithms() []Algorithm { return engine.Algorithms() }
+
+// Backend names a physical index backend for the trie-driven engines. The
+// zero value selects the default (CSR). Prepare rejects anything outside the
+// registered set with ErrUnknownBackend.
+type Backend = core.Backend
+
+// Registered index backends.
+const (
+	BackendFlat       = core.BackendFlat
+	BackendCSR        = core.BackendCSR
+	BackendCSRSharded = core.BackendCSRSharded
 )
 
 // Query is a graph-pattern join query. Build one with the pattern
@@ -63,10 +105,23 @@ func ParseQuery(name, src string) (*Query, error) { return query.Parse(name, src
 
 // Graph is an undirected graph plus the benchmark database schema derived
 // from it: the symmetric "edge" relation, the oriented "fwd" relation, and
-// the node samples v1..v4.
+// the node samples v1..v4. It is a thin compatibility wrapper over Store —
+// the benchmark schema is one canned schema — so everything a Store offers
+// (ReadTxn, Batch, schema-checked ParseQuery) is available through Store().
+// Graph methods are safe for concurrent use (queries through the store
+// serialize on the database; the wrapper's own vertex/edge accounting is
+// guarded by its mutex).
 type Graph struct {
-	g  *dataset.Graph
-	db *core.DB
+	g *dataset.Graph
+	s *Store
+
+	// mu guards the wrapped graph's accounting (g.Edges, g.N, edgeIdx)
+	// against concurrent ApplyEdges/Nodes/Edges/SetSelectivity calls.
+	mu sync.Mutex
+	// edgeIdx maps each oriented edge to its position in g.Edges; built on
+	// the first ApplyEdges so incremental writes maintain the accounting in
+	// time proportional to the batch instead of re-scanning the edge list.
+	edgeIdx map[[2]int64]int
 }
 
 // NewGraph builds a graph from an undirected edge list. Vertex ids must be
@@ -98,14 +153,14 @@ func NewGraph(edges [][2]int64) *Graph {
 		seen[[2]int64{u, v}] = true
 		g.Edges = append(g.Edges, [2]int64{u, v})
 	}
-	return &Graph{g: g, db: dataset.DB(g, 1, 1)}
+	return &Graph{g: g, s: newStoreOver(dataset.DB(g, 1, 1))}
 }
 
 // GenerateGraph produces a deterministic synthetic graph (see
 // internal/dataset for the models). Samples default to selectivity 1.
 func GenerateGraph(model dataset.Model, nodes, edges int, seed int64) *Graph {
 	g := dataset.Generate(model, nodes, edges, seed)
-	return &Graph{g: g, db: dataset.DB(g, 1, seed)}
+	return &Graph{g: g, s: newStoreOver(dataset.DB(g, 1, seed))}
 }
 
 // Dataset builds one of the paper's 15 benchmark datasets by name (synthetic
@@ -116,43 +171,241 @@ func Dataset(name string) (*Graph, error) {
 		return nil, err
 	}
 	g := spec.Build()
-	return &Graph{g: g, db: dataset.DB(g, 1, spec.Seed)}, nil
+	return &Graph{g: g, s: newStoreOver(dataset.DB(g, 1, spec.Seed))}, nil
 }
 
 // Nodes returns the vertex count.
-func (g *Graph) Nodes() int { return g.g.N }
+func (g *Graph) Nodes() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.g.N
+}
 
 // Edges returns the undirected edge count.
-func (g *Graph) Edges() int { return len(g.g.Edges) }
+func (g *Graph) Edges() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.g.Edges)
+}
 
 // SetSelectivity redraws all four node samples with the paper's protocol:
-// each vertex is selected with probability 1/s.
+// each vertex is selected with probability 1/s. All four relations are
+// replaced in one atomic registration, so a concurrent ReadTxn/Batch
+// snapshot observes one sample generation, never a mix.
 func (g *Graph) SetSelectivity(s int, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
+	samples := make(map[string][]int64, 4)
+	g.mu.Lock()
 	for _, name := range []string{query.Sample1, query.Sample2, query.Sample3, query.Sample4} {
-		g.setSample(name, g.g.Sample(rng, s))
+		samples[name] = g.g.Sample(rng, s)
 	}
+	g.mu.Unlock()
+	dataset.ReplaceNamedSamples(g.s.db, samples)
 }
 
 // SetSamples sets the v1 and v2 samples explicitly (Figures 3–5 use
-// absolute sample sizes).
+// absolute sample sizes), replacing both atomically.
 func (g *Graph) SetSamples(v1, v2 []int64) {
-	g.setSample(query.Sample1, v1)
-	g.setSample(query.Sample2, v2)
+	dataset.ReplaceSamples(g.s.db, v1, v2)
 }
 
-func (g *Graph) setSample(name string, vals []int64) {
-	dataset.ReplaceSample(g.db, name, vals)
+// Store returns the underlying general-schema store: the benchmark schema
+// (edge, fwd, v1..v4) as ordinary store relations. Use it for snapshot
+// read-transactions (ReadTxn), batched execution (Batch), and schema-checked
+// parsing over the benchmark relations. For writes, use the Graph methods
+// (ApplyEdges, SetSelectivity, SetSamples): a raw Store.Apply on "edge" or
+// "fwd" updates only that one relation and silently breaks the schema's
+// invariants (edge symmetric, fwd its u<v orientation) that every benchmark
+// query assumes, and a raw Store.Load on any benchmark relation replaces it
+// without maintaining the wrapper's vertex/edge accounting — Nodes, Edges,
+// and the SetSelectivity sampling population would go stale.
+func (g *Graph) Store() *Store { return g.s }
+
+// ApplyEdges inserts and removes undirected edges through the incremental
+// write path, maintaining the schema invariants: both directions land in
+// "edge" and the u<v orientation in "fwd" — applied atomically under one
+// database lock, so a concurrent ReadTxn/Batch snapshot can never observe
+// one relation updated and not the other — and the wrapped graph's vertex
+// and edge accounting (Nodes, Edges, the population SetSelectivity samples
+// from) follows the writes. Self-loops are dropped; an edge on both sides
+// of one batch resolves as delete-after-insert. Like Store.Apply, it keeps
+// prepared handles on the default CSR backend serving current data.
+// (CountView.ApplyEdges additionally corrects a maintained count; this is
+// the view-less counterpart.)
+func (g *Graph) ApplyEdges(insert, remove [][2]int64) error {
+	if err := checkEdgeDomain(insert, remove); err != nil {
+		return err
+	}
+	// The database write and the accounting update form one critical
+	// section: a conflicting concurrent batch cannot interleave between
+	// them and desync the wrapper from the stored relations.
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	err := g.s.db.ApplyDeltas([]core.DeltaBatch{
+		{Name: query.Edge, Inserts: incremental.Orient(insert, false), Deletes: incremental.Orient(remove, false)},
+		{Name: query.Fwd, Inserts: incremental.Orient(insert, true), Deletes: incremental.Orient(remove, true)},
+	})
+	if err != nil {
+		return err
+	}
+	g.applyDerivedLocked(insert, remove)
+	return nil
+}
+
+// The wrapper accounting (g.g.Edges, g.g.N, edgeIdx) is maintained in time
+// proportional to the batch: the oriented-edge index is built once (on the
+// first write) and updated incrementally after that. The vertex count only
+// grows — removing an edge does not retire its endpoints. Two orderings
+// exist because the two write paths resolve an edge appearing on both sides
+// of one batch differently: ApplyDeltas/filterDelta is delete-after-insert
+// (the edge never lands), while the view's UpdateRelation deletes first and
+// then inserts (the edge ends present). All these helpers run under g.mu.
+
+func (g *Graph) ensureEdgeIdxLocked() {
+	if g.edgeIdx != nil {
+		return
+	}
+	g.edgeIdx = make(map[[2]int64]int, len(g.g.Edges))
+	for i, e := range g.g.Edges {
+		g.edgeIdx[e] = i
+	}
+}
+
+// checkEdgeDomain validates an edge batch's vertex ids against the storage
+// domain before any relation is touched, so both edge write paths
+// (Graph.ApplyEdges and CountView.ApplyEdges) report typed errors instead
+// of tripping the storage layer's panic.
+func checkEdgeDomain(insert, remove [][2]int64) error {
+	for _, batch := range [2]struct {
+		op    string
+		edges [][2]int64
+	}{{"insert", insert}, {"delete", remove}} {
+		for _, e := range batch.edges {
+			if e[0] < 0 || e[0] >= relation.PosInf || e[1] < 0 || e[1] >= relation.PosInf {
+				return fmt.Errorf("repro: %w: %s of edge %v (vertex ids must be in [0, %d))",
+					ErrValueOutOfRange, batch.op, e, relation.PosInf)
+			}
+		}
+	}
+	return nil
+}
+
+// orientEdge normalizes an undirected edge to its u<v form; ok is false for
+// self-loops.
+func orientEdge(e [2]int64) (oe [2]int64, ok bool) {
+	u, v := e[0], e[1]
+	if u == v {
+		return oe, false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int64{u, v}, true
+}
+
+func (g *Graph) insertEdgeLocked(oe [2]int64) {
+	if _, ok := g.edgeIdx[oe]; ok {
+		return
+	}
+	g.edgeIdx[oe] = len(g.g.Edges)
+	g.g.Edges = append(g.g.Edges, oe)
+	if int(oe[1])+1 > g.g.N {
+		g.g.N = int(oe[1]) + 1
+	}
+}
+
+func (g *Graph) removeEdgeLocked(oe [2]int64) {
+	i, ok := g.edgeIdx[oe]
+	if !ok {
+		return
+	}
+	// Swap-remove: the edge list's order carries no meaning.
+	last := len(g.g.Edges) - 1
+	g.g.Edges[i] = g.g.Edges[last]
+	g.edgeIdx[g.g.Edges[i]] = i
+	g.g.Edges = g.g.Edges[:last]
+	delete(g.edgeIdx, oe)
+}
+
+// applyDerivedLocked mirrors ApplyDeltas/filterDelta semantics
+// (delete-after-insert: an edge on both sides never lands and must not grow
+// the accounting or the vertex count).
+func (g *Graph) applyDerivedLocked(insert, remove [][2]int64) {
+	g.ensureEdgeIdxLocked()
+	removed := make(map[[2]int64]bool, len(remove))
+	for _, e := range remove {
+		if oe, ok := orientEdge(e); ok {
+			removed[oe] = true
+		}
+	}
+	for _, e := range insert {
+		if oe, ok := orientEdge(e); ok && !removed[oe] {
+			g.insertEdgeLocked(oe)
+		}
+	}
+	for _, e := range remove {
+		if oe, ok := orientEdge(e); ok {
+			g.removeEdgeLocked(oe)
+		}
+	}
+}
+
+// applyDerivedDeleteFirstLocked mirrors the incremental view's
+// UpdateRelation semantics (deletions applied first, then insertions: an
+// edge on both sides ends present).
+func (g *Graph) applyDerivedDeleteFirstLocked(insert, remove [][2]int64) {
+	g.ensureEdgeIdxLocked()
+	for _, e := range remove {
+		if oe, ok := orientEdge(e); ok {
+			g.removeEdgeLocked(oe)
+		}
+	}
+	for _, e := range insert {
+		if oe, ok := orientEdge(e); ok {
+			g.insertEdgeLocked(oe)
+		}
+	}
+}
+
+// resyncLocked rebuilds the accounting from the stored oriented edge
+// relation (fwd is exactly the u<v edge list) — the recovery path when a
+// staged view update fails midway and the incremental bookkeeping can no
+// longer be trusted.
+func (g *Graph) resyncLocked() {
+	fwd, err := g.s.db.Relation(query.Fwd)
+	if err != nil {
+		return
+	}
+	edges := make([][2]int64, fwd.Len())
+	n := int64(g.g.N)
+	for i := range edges {
+		u, v := fwd.Value(i, 0), fwd.Value(i, 1)
+		edges[i] = [2]int64{u, v}
+		if v+1 > n {
+			n = v + 1
+		}
+	}
+	g.g.Edges, g.g.N, g.edgeIdx = edges, int(n), nil
+}
+
+// Prepare compiles the query against this graph for the configured engine;
+// see Store.Prepare.
+func (g *Graph) Prepare(q *Query, opts Options) (*Prepared, error) {
+	return g.s.Prepare(q, opts)
 }
 
 // DB exposes the underlying database (for the benchmark harness).
-func (g *Graph) DB() *core.DB { return g.db }
+func (g *Graph) DB() *core.DB { return g.s.db }
 
-// Options select and configure an engine.
+// Options select and configure an engine. Algorithm and Backend are typed —
+// use the exported constants (LFTJ, MS, ..., BackendFlat, BackendCSR,
+// BackendCSRSharded); string literals still assign for convenience, and
+// Prepare rejects unknown names eagerly with ErrUnknownAlgorithm /
+// ErrUnknownBackend.
 type Options struct {
-	// Algorithm is one of lftj, ms, hybrid, psql, monetdb, yannakakis,
-	// graphlab. Empty defaults to lftj.
-	Algorithm string
+	// Algorithm selects the engine: LFTJ, MS, Hybrid, PSQL, MonetDB,
+	// Yannakakis, GraphLab, or GenericJoin. Empty defaults to LFTJ.
+	Algorithm Algorithm
 	// Workers bounds parallelism (0 = all cores, 1 = sequential).
 	Workers int
 	// Granularity is the §4.10 partitioning factor f (0 = paper defaults).
@@ -160,15 +413,15 @@ type Options struct {
 	// GAO overrides the global attribute order (Table 4 experiments).
 	GAO []string
 	// Backend selects the physical index backend for the trie-driven
-	// engines (lftj, ms): "csr" (the default — materialized CSR trie
+	// engines (lftj, ms): BackendCSR (the default — materialized CSR trie
 	// levels, built once per index at Prepare time, with O(1) child-range
 	// resolution on the join hot path and incremental maintenance through
-	// delta overlays), "csr-sharded" (the CSR trie partitioned into
+	// delta overlays), BackendCSRSharded (the CSR trie partitioned into
 	// disjoint first-attribute shards; parallel Counts bind one shard per
-	// worker job), or "flat" (binary search over the sorted rows — no extra
-	// memory, and the reference the other backends are differential-tested
-	// against). Other engines ignore it.
-	Backend string
+	// worker job), or BackendFlat (binary search over the sorted rows — no
+	// extra memory, and the reference the other backends are
+	// differential-tested against). Other engines ignore it.
+	Backend Backend
 	// Idea toggles for the ablation experiments (all ideas default on).
 	DisableProbeMemo  bool // Idea 4
 	DisableComplete   bool // Idea 6
@@ -181,14 +434,14 @@ type Options struct {
 func (o Options) engineOptions() engine.Options {
 	alg := o.Algorithm
 	if alg == "" {
-		alg = string(engine.LFTJ)
+		alg = engine.LFTJ
 	}
 	return engine.Options{
-		Algorithm:   engine.Algorithm(alg),
+		Algorithm:   alg,
 		Workers:     o.Workers,
 		Granularity: o.Granularity,
 		GAO:         o.GAO,
-		Backend:     core.Backend(o.Backend),
+		Backend:     o.Backend,
 		MaxRows:     o.MaxRows,
 		MS: minesweeper.Options{
 			DisableMemo:      o.DisableProbeMemo,
@@ -225,15 +478,7 @@ func Enumerate(ctx context.Context, g *Graph, q *Query, opts Options, emit func(
 // query on this graph's relation sizes (paper Appendix A) — the quantity
 // worst-case-optimal engines are optimal against.
 func AGMBound(g *Graph, q *Query) (float64, error) {
-	sizes, err := relationSizes(g, q)
-	if err != nil {
-		return 0, fmt.Errorf("agm: %w", err)
-	}
-	res, err := agm.Compute(q, sizes)
-	if err != nil {
-		return 0, err
-	}
-	return res.Bound(), nil
+	return g.s.AGMBound(q)
 }
 
 // ExecStats is the unified execution-counter surface every engine reports
@@ -244,17 +489,20 @@ func AGMBound(g *Graph, q *Query) (float64, error) {
 type ExecStats = core.Stats
 
 // CountWithStats evaluates the query once and returns the count together
-// with its execution counters. The empty Algorithm defaults to "ms" running
-// sequentially (the historical behavior of this function); set
-// opts.Algorithm/opts.Workers to profile any other configuration, or hold a
-// Prepared handle and read Stats() to aggregate across executions.
+// with its execution counters. When both Algorithm and Workers are left
+// zero it defaults to "ms" (the historical behavior of this function), and
+// an ms run with Workers zero — defaulted or explicit — runs sequentially,
+// because the ablation counters are only deterministic on a sequential
+// Minesweeper run (partitioned runs probe partition boundaries too). A
+// caller who sets only Workers gets the normal default engine (lftj) on
+// those workers — no silent rerouting to ms. For anything beyond a one-shot
+// measurement, hold a Prepared handle and read Stats() to aggregate across
+// executions.
 func CountWithStats(ctx context.Context, g *Graph, q *Query, opts Options) (int64, ExecStats, error) {
-	if opts.Algorithm == "" {
-		opts.Algorithm = "ms"
+	if opts.Algorithm == "" && opts.Workers == 0 {
+		opts.Algorithm = MS
 	}
-	if opts.Algorithm == "ms" && opts.Workers == 0 {
-		// Sequential by default so the ablation counters stay deterministic
-		// (partitioned runs probe partition boundaries too).
+	if opts.Algorithm == MS && opts.Workers == 0 {
 		opts.Workers = 1
 	}
 	p, err := g.Prepare(q, opts)
@@ -275,7 +523,7 @@ type CountView struct {
 
 // MaintainCount materializes Count(q) over the graph and keeps it current.
 func MaintainCount(ctx context.Context, g *Graph, q *Query) (*CountView, error) {
-	v, err := incremental.NewGraphView(ctx, q, g.db)
+	v, err := incremental.NewGraphView(ctx, q, g.s.db)
 	if err != nil {
 		return nil, err
 	}
@@ -291,14 +539,31 @@ func (v *CountView) Count() int64 { return v.inner.Count() }
 func (v *CountView) Stats() ExecStats { return v.inner.Stats() }
 
 // ApplyEdges inserts and removes undirected edges, updating the graph's
-// relations and the maintained count with delta queries.
+// relations and the maintained count with delta queries. The delta-query
+// algorithm applies each relation's deletions and insertions in stages with
+// correction queries evaluated between them, so unlike Graph.ApplyEdges the
+// update is not one atomic step: a concurrent ReadTxn/Batch snapshot taken
+// mid-update can observe an intermediate state where "edge" and "fwd"
+// disagree. Open snapshots before or after a maintenance batch, not during.
 func (v *CountView) ApplyEdges(ctx context.Context, insert, remove [][2]int64) error {
-	return v.inner.ApplyEdges(ctx, insert, remove)
+	if err := checkEdgeDomain(insert, remove); err != nil {
+		return err
+	}
+	v.g.mu.Lock()
+	defer v.g.mu.Unlock()
+	if err := v.inner.ApplyEdges(ctx, insert, remove); err != nil {
+		// The staged update may have landed partially; rebuild the
+		// accounting from the stored relations instead of guessing.
+		v.g.resyncLocked()
+		return err
+	}
+	v.g.applyDerivedDeleteFirstLocked(insert, remove)
+	return nil
 }
 
 // MaterializeTransitiveClosure computes tc(edge) with semi-naive recursion
 // (the paper's §6 future work) and registers it as relation "tc", queryable
 // from any engine, e.g. ParseQuery("reach", "v1(a), tc(a, b), v2(b)").
 func MaterializeTransitiveClosure(ctx context.Context, g *Graph) error {
-	return recursive.RegisterTC(ctx, g.db)
+	return recursive.RegisterTC(ctx, g.s.db)
 }

@@ -11,7 +11,7 @@ func k4() *Graph {
 
 func TestCountTrianglesAllEngines(t *testing.T) {
 	g := k4()
-	for _, alg := range []string{"", "lftj", "ms", "psql", "monetdb", "graphlab"} {
+	for _, alg := range []Algorithm{"", LFTJ, MS, PSQL, MonetDB, GraphLab} {
 		got, err := Count(context.Background(), g, Triangles(), Options{Algorithm: alg})
 		if err != nil {
 			t.Fatalf("%q: %v", alg, err)

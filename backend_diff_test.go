@@ -37,7 +37,7 @@ func sortedRows(rows [][]int64) {
 }
 
 // backendMatrix is every index backend, reference first.
-var backendMatrix = []string{"flat", "csr", "csr-sharded"}
+var backendMatrix = []Backend{BackendFlat, BackendCSR, BackendCSRSharded}
 
 // TestBackendDifferential runs every corpus query under both trie-driven
 // engines on every index backend and requires identical counts and identical
@@ -48,8 +48,8 @@ func TestBackendDifferential(t *testing.T) {
 	g := GenerateGraph(HolmeKim, 250, 900, 3)
 	g.SetSelectivity(25, 5)
 	for _, q := range corpusQueries() {
-		for _, alg := range []string{"lftj", "ms"} {
-			t.Run(fmt.Sprintf("%s/%s", q.Name, alg), func(t *testing.T) {
+		for _, alg := range []Algorithm{LFTJ, MS} {
+			t.Run(fmt.Sprintf("%s/%s", q.Name, string(alg)), func(t *testing.T) {
 				var counts []int64
 				var rows [][][]int64
 				for _, backend := range backendMatrix {
@@ -106,8 +106,8 @@ func TestBackendParallelDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, alg := range []string{"lftj", "ms"} {
-			for _, backend := range []string{"csr", "csr-sharded"} {
+		for _, alg := range []Algorithm{LFTJ, MS} {
+			for _, backend := range []Backend{BackendCSR, BackendCSRSharded} {
 				got, err := Count(ctx, g, q, Options{Algorithm: alg, Workers: 4, Granularity: 8, Backend: backend})
 				if err != nil {
 					t.Fatalf("%s/%s/%s parallel: %v", q.Name, alg, backend, err)

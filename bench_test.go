@@ -115,8 +115,8 @@ func BenchmarkTable5_Granularity(b *testing.B) {
 func BenchmarkTable6_CyclicEngines(b *testing.B) {
 	g := benchGraph(b, dataset.HolmeKim, 5000, 29000, 1)
 	q := Cliques(3)
-	for _, alg := range []string{"lftj", "ms", "psql", "monetdb", "graphlab"} {
-		b.Run(alg, func(b *testing.B) { benchCount(b, g, q, Options{Algorithm: alg, Workers: 1}) })
+	for _, alg := range []Algorithm{LFTJ, MS, PSQL, MonetDB, GraphLab} {
+		b.Run(string(alg), func(b *testing.B) { benchCount(b, g, q, Options{Algorithm: alg, Workers: 1}) })
 	}
 }
 
@@ -125,8 +125,8 @@ func BenchmarkTable6_CyclicEngines(b *testing.B) {
 func BenchmarkTable7_AcyclicEngines(b *testing.B) {
 	g := benchGraph(b, dataset.BarabasiAlbert, 5000, 29000, 80)
 	q := Paths(3)
-	for _, alg := range []string{"lftj", "ms", "yannakakis", "psql", "monetdb"} {
-		b.Run(alg, func(b *testing.B) { benchCount(b, g, q, Options{Algorithm: alg, Workers: 1}) })
+	for _, alg := range []Algorithm{LFTJ, MS, Yannakakis, PSQL, MonetDB} {
+		b.Run(string(alg), func(b *testing.B) { benchCount(b, g, q, Options{Algorithm: alg, Workers: 1}) })
 	}
 }
 
@@ -135,8 +135,8 @@ func BenchmarkTable7_AcyclicEngines(b *testing.B) {
 func BenchmarkTable7_Lollipop(b *testing.B) {
 	g := benchGraph(b, dataset.BarabasiAlbert, 3000, 12000, 10)
 	q := Lollipops(2)
-	for _, alg := range []string{"ms", "hybrid"} {
-		b.Run(alg, func(b *testing.B) { benchCount(b, g, q, Options{Algorithm: alg, Workers: 1}) })
+	for _, alg := range []Algorithm{MS, Hybrid} {
+		b.Run(string(alg), func(b *testing.B) { benchCount(b, g, q, Options{Algorithm: alg, Workers: 1}) })
 	}
 }
 
@@ -152,7 +152,7 @@ func BenchmarkFigure3to5_PathSampleScaling(b *testing.B) {
 			v2[i] = int64(i*13%20000 + 1)
 		}
 		g.SetSamples(v1, v2)
-		for _, alg := range []string{"lftj", "ms"} {
+		for _, alg := range []Algorithm{LFTJ, MS} {
 			b.Run(fmt.Sprintf("N=%d/%s", n, alg), func(b *testing.B) {
 				benchCount(b, g, Paths(3), Options{Algorithm: alg, Workers: 1})
 			})
@@ -165,7 +165,7 @@ func BenchmarkFigure3to5_PathSampleScaling(b *testing.B) {
 func BenchmarkFigure6_TriangleEdgeScaling(b *testing.B) {
 	for _, edges := range []int{20000, 80000} {
 		g := benchGraph(b, dataset.BarabasiAlbert, 20000, edges, 1)
-		for _, alg := range []string{"lftj", "ms", "psql"} {
+		for _, alg := range []Algorithm{LFTJ, MS, PSQL} {
 			b.Run(fmt.Sprintf("E=%d/%s", edges, alg), func(b *testing.B) {
 				benchCount(b, g, Cliques(3), Options{Algorithm: alg, Workers: 1})
 			})
@@ -178,7 +178,7 @@ func BenchmarkFigure6_TriangleEdgeScaling(b *testing.B) {
 func BenchmarkFigure7_FourCliqueEdgeScaling(b *testing.B) {
 	for _, edges := range []int{20000, 60000} {
 		g := benchGraph(b, dataset.BarabasiAlbert, 20000, edges, 1)
-		for _, alg := range []string{"lftj", "ms"} {
+		for _, alg := range []Algorithm{LFTJ, MS} {
 			b.Run(fmt.Sprintf("E=%d/%s", edges, alg), func(b *testing.B) {
 				benchCount(b, g, Cliques(4), Options{Algorithm: alg, Workers: 1})
 			})
@@ -242,7 +242,7 @@ func BenchmarkBackend(b *testing.B) {
 	ctx := context.Background()
 	g := benchGraph(b, dataset.HolmeKim, 5000, 29000, 1)
 	for _, q := range []*Query{Cliques(3), Cliques(4)} {
-		for _, backend := range []string{"flat", "csr", "csr-sharded"} {
+		for _, backend := range []Backend{BackendFlat, BackendCSR, BackendCSRSharded} {
 			p, err := g.Prepare(q, Options{Algorithm: "lftj", Workers: 1, Backend: backend})
 			if err != nil {
 				b.Fatal(err)
@@ -270,7 +270,7 @@ func BenchmarkBackendParallel(b *testing.B) {
 	ctx := context.Background()
 	g := benchGraph(b, dataset.HolmeKim, 20000, 120000, 1)
 	for _, q := range []*Query{Cliques(3), Cliques(4)} {
-		for _, backend := range []string{"csr", "csr-sharded"} {
+		for _, backend := range []Backend{BackendCSR, BackendCSRSharded} {
 			p, err := g.Prepare(q, Options{Algorithm: "lftj", Workers: 4, Backend: backend})
 			if err != nil {
 				b.Fatal(err)
@@ -297,8 +297,8 @@ func BenchmarkBackendParallel(b *testing.B) {
 // measures that regime.
 func BenchmarkViewMaintenance(b *testing.B) {
 	ctx := context.Background()
-	for _, backend := range []string{"flat", "csr"} {
-		b.Run(backend, func(b *testing.B) {
+	for _, backend := range []Backend{BackendFlat, BackendCSR} {
+		b.Run(string(backend), func(b *testing.B) {
 			g := GenerateGraph(BarabasiAlbert, 3000, 15000, 42)
 			v, err := incremental.NewGraphViewBackend(ctx, Triangles(), g.DB(), core.Backend(backend))
 			if err != nil {
@@ -323,8 +323,8 @@ func BenchmarkViewMaintenance(b *testing.B) {
 // flat, whose plans the update invalidated).
 func BenchmarkViewMaintainAndServe(b *testing.B) {
 	ctx := context.Background()
-	for _, backend := range []string{"flat", "csr"} {
-		b.Run(backend, func(b *testing.B) {
+	for _, backend := range []Backend{BackendFlat, BackendCSR} {
+		b.Run(string(backend), func(b *testing.B) {
 			g := GenerateGraph(BarabasiAlbert, 3000, 15000, 42)
 			v, err := incremental.NewGraphViewBackend(ctx, Triangles(), g.DB(), core.Backend(backend))
 			if err != nil {
@@ -359,12 +359,12 @@ func BenchmarkBackendProbes(b *testing.B) {
 	ctx := context.Background()
 	g := benchGraph(b, dataset.HolmeKim, 5000, 29000, 1)
 	q := Cliques(3)
-	for _, backend := range []string{"flat", "csr", "csr-sharded"} {
+	for _, backend := range []Backend{BackendFlat, BackendCSR, BackendCSRSharded} {
 		p, err := g.Prepare(q, Options{Algorithm: "ms", Workers: 1, Backend: backend})
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.Run(backend, func(b *testing.B) {
+		b.Run(string(backend), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := p.Count(ctx); err != nil {
@@ -409,7 +409,50 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 func BenchmarkWCOJImplementations(b *testing.B) {
 	g := benchGraph(b, dataset.HolmeKim, 5000, 29000, 1)
 	q := Cliques(3)
-	for _, alg := range []string{"lftj", "genericjoin", "ms"} {
-		b.Run(alg, func(b *testing.B) { benchCount(b, g, q, Options{Algorithm: alg, Workers: 1}) })
+	for _, alg := range []Algorithm{LFTJ, GenericJoin, MS} {
+		b.Run(string(alg), func(b *testing.B) { benchCount(b, g, q, Options{Algorithm: alg, Workers: 1}) })
+	}
+}
+
+// BenchmarkStoreBatch is the batched-execution acceptance benchmark: the
+// same mixed query workload executed sequentially on one goroutine versus
+// through Store.Batch with a worker budget, all against one shared snapshot.
+// One batch "op" runs the full request list; batched throughput must be at
+// least sequential throughput once two or more workers (and cores) are
+// available — on a single-core box the two are expected to land at parity,
+// which bounds the batch machinery's overhead.
+func BenchmarkStoreBatch(b *testing.B) {
+	ctx := context.Background()
+	g := benchGraph(b, dataset.HolmeKim, 250, 900, 25)
+	s := g.Store()
+	var reqs []Request
+	for _, q := range corpusQueries() {
+		p, err := s.Prepare(q, Options{Algorithm: LFTJ, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs = append(reqs, Request{Prepared: p})
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range reqs {
+				if _, err := r.Prepared.Count(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("batch%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, res := range s.BatchWorkers(ctx, reqs, workers) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
 	}
 }

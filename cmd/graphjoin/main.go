@@ -7,6 +7,15 @@
 //	graphjoin -nodes 10000 -edges 50000 -model hk -query 4-clique -engine graphlab
 //	graphjoin -dataset ca-GrQc -query 3-path -engine ms -explain -stats -repeat 100
 //
+// Beyond the benchmark graph schema, -relation/-load define and fill an
+// arbitrary schema (a general Store): directed and edge-labeled graphs are
+// ordinary multi-relation schemas. Relations are declared name:arity and
+// loaded from whitespace- or comma-separated integer rows:
+//
+//	graphjoin -relation follows:2 -relation likes:2 \
+//	    -load follows=follows.tsv -load likes=likes.tsv \
+//	    -datalog 'follows(a,b), follows(b,c), likes(c,a)'
+//
 // The query is prepared once (validated, GAO fixed, indexes bound) and then
 // executed -repeat times; -explain prints the compiled plan and -stats the
 // unified execution counters.
@@ -16,17 +25,31 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/query"
 )
 
+// listFlag collects a repeatable string flag.
+type listFlag []string
+
+func (l *listFlag) String() string { return strings.Join(*l, ",") }
+func (l *listFlag) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}
+
 func main() {
+	var relations, loads listFlag
 	var (
 		datasetName = flag.String("dataset", "", "catalog dataset name (see DESIGN.md)")
 		model       = flag.String("model", "ba", "generator when -dataset empty: er | ba | hk")
@@ -45,33 +68,49 @@ func main() {
 		showStats   = flag.Bool("stats", false, "print the unified execution counters after the run")
 		repeat      = flag.Int("repeat", 1, "executions of the prepared query (plan compiled once)")
 	)
+	flag.Var(&relations, "relation", "define a store relation as name:arity (repeatable; switches to the general schema mode)")
+	flag.Var(&loads, "load", "load a defined relation from a file of integer rows, as name=path (repeatable)")
 	flag.Parse()
 
-	var g *repro.Graph
-	var err error
-	if *datasetName != "" {
-		g, err = repro.Dataset(*datasetName)
-		if err != nil {
-			log.Fatal(err)
+	var s *repro.Store
+	var desc string
+	if len(relations) > 0 {
+		if *datalog == "" {
+			log.Fatal("-relation requires a -datalog query over the defined schema")
 		}
+		// The graph-mode flags have no meaning against a user-defined
+		// schema; reject them instead of silently dropping them.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "dataset", "model", "nodes", "edges", "seed", "selectivity", "query":
+				log.Fatalf("-%s applies to the benchmark graph mode and conflicts with -relation", f.Name)
+			}
+		})
+		s = buildStore(relations, loads)
+		var parts []string
+		for _, name := range s.Relations() {
+			arity, _ := s.Arity(name)
+			n := 0
+			if r, err := s.DB().Relation(name); err == nil {
+				n = r.Len()
+			}
+			parts = append(parts, fmt.Sprintf("%s/%d (%d tuples)", name, arity, n))
+		}
+		desc = "store: " + strings.Join(parts, ", ")
 	} else {
-		m := repro.BarabasiAlbert
-		switch *model {
-		case "er":
-			m = repro.ErdosRenyi
-		case "hk":
-			m = repro.HolmeKim
-		case "ba":
-		default:
-			log.Fatalf("unknown model %q", *model)
+		if len(loads) > 0 {
+			log.Fatal("-load requires the relations to be defined with -relation")
 		}
-		g = repro.GenerateGraph(m, *nodes, *edges, *seed)
+		g := buildGraph(*datasetName, *model, *nodes, *edges, *seed)
+		g.SetSelectivity(*selectivity, *seed)
+		s = g.Store()
+		desc = fmt.Sprintf("graph: %d nodes, %d edges", g.Nodes(), g.Edges())
 	}
-	g.SetSelectivity(*selectivity, *seed)
 
 	var q *repro.Query
+	var err error
 	if *datalog != "" {
-		q, err = repro.ParseQuery("adhoc", *datalog)
+		q, err = s.ParseQuery("adhoc", *datalog)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -82,9 +121,9 @@ func main() {
 		}
 	}
 
-	fmt.Printf("graph: %d nodes, %d edges; query %s: %s\n", g.Nodes(), g.Edges(), q.Name, q)
+	fmt.Printf("%s; query %s: %s\n", desc, q.Name, q)
 	if *showAGM {
-		if bound, err := repro.AGMBound(g, q); err == nil {
+		if bound, err := s.AGMBound(q); err == nil {
 			fmt.Printf("AGM bound: %.3g\n", bound)
 		}
 	}
@@ -92,7 +131,11 @@ func main() {
 	// Prepare once: the query is validated, the GAO fixed, and the
 	// GAO-consistent indexes bound here; the executions below are pure.
 	prepStart := time.Now()
-	p, err := g.Prepare(q, repro.Options{Algorithm: *engineName, Workers: *workers, Backend: *backendName})
+	p, err := s.Prepare(q, repro.Options{
+		Algorithm: repro.Algorithm(*engineName),
+		Workers:   *workers,
+		Backend:   repro.Backend(*backendName),
+	})
 	if err != nil {
 		log.Fatalf("%s: %v", *engineName, err)
 	}
@@ -127,6 +170,96 @@ func main() {
 		fmt.Printf("plan:  cacheHits=%d cacheMisses=%d gaoDerivations=%d indexBindings=%d\n",
 			st.PlanCacheHits, st.PlanCacheMisses, st.GAODerivations, st.IndexBindings)
 	}
+}
+
+// buildGraph constructs the benchmark graph from the catalog or a generator.
+func buildGraph(datasetName, model string, nodes, edges int, seed int64) *repro.Graph {
+	if datasetName != "" {
+		g, err := repro.Dataset(datasetName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return g
+	}
+	m := repro.BarabasiAlbert
+	switch model {
+	case "er":
+		m = repro.ErdosRenyi
+	case "hk":
+		m = repro.HolmeKim
+	case "ba":
+	default:
+		log.Fatalf("unknown model %q", model)
+	}
+	return repro.GenerateGraph(m, nodes, edges, seed)
+}
+
+// buildStore defines the -relation schema and loads the -load files.
+func buildStore(relations, loads []string) *repro.Store {
+	s := repro.NewStore()
+	for _, spec := range relations {
+		name, arityStr, ok := strings.Cut(spec, ":")
+		if !ok {
+			log.Fatalf("-relation %q: want name:arity", spec)
+		}
+		arity, err := strconv.Atoi(arityStr)
+		if err != nil {
+			log.Fatalf("-relation %q: bad arity: %v", spec, err)
+		}
+		if err := s.DefineRelation(name, arity); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("-load %q: want name=path", spec)
+		}
+		tuples, err := readTuples(path)
+		if err != nil {
+			log.Fatalf("-load %s: %v", name, err)
+		}
+		if err := s.Load(name, tuples); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return s
+}
+
+// readTuples reads integer rows, one tuple per line, columns separated by
+// whitespace or commas; blank lines and #-comments are skipped.
+func readTuples(path string) ([][]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var tuples [][]int64
+	sc := bufio.NewScanner(f)
+	// Machine-generated rows can exceed bufio's default 64KB token cap.
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(text, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t'
+		})
+		tuple := make([]int64, 0, len(fields))
+		for _, fld := range fields {
+			v, err := strconv.ParseInt(fld, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+			}
+			tuple = append(tuple, v)
+		}
+		tuples = append(tuples, tuple)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tuples, nil
 }
 
 func namedQuery(name string) (*repro.Query, error) {

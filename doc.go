@@ -23,11 +23,43 @@
 //	st := p.Stats()                   // unified counters across executions
 //
 // A Prepared handle is safe for concurrent use and pins the physical design
-// it was compiled against; compiled plans are also cached on the graph
-// (keyed on query shape × algorithm × GAO, invalidated when a relation they
-// read is replaced), so re-preparing an unchanged shape is cheap. One-shot
-// helpers (Count, Enumerate, CountWithStats) remain as thin wrappers over
-// Prepare.
+// it was compiled against; compiled plans are also cached on the store
+// (keyed on query shape × algorithm × backend × GAO, invalidated when a
+// relation they read is replaced), so re-preparing an unchanged shape is
+// cheap. One-shot helpers (Count, Enumerate, CountWithStats) remain as thin
+// wrappers over Prepare.
+//
+// # General schemas: Store
+//
+// Graph exposes the paper's fixed §5.1 benchmark schema (edge, fwd,
+// v1..v4). Store is the general layer underneath it — the same
+// generalization step from fixed benchmark patterns to arbitrary
+// graph-pattern workloads: the caller defines named relations of any arity,
+// bulk-loads and incrementally mutates them, and queries them with
+// schema-checked parsing over that schema. Directed graphs, edge-labeled
+// graphs (one relation per label, or a ternary relation with the label as
+// a column), and arbitrary n-ary relations are all ordinary schemas:
+//
+//	s := repro.NewStore()
+//	err := s.DefineRelation("follows", 2)
+//	err = s.Load("follows", tuples)          // bulk load (replaces)
+//	err = s.Apply("follows", ins, dels)      // incremental; plans stay valid
+//	q, err := s.ParseQuery("fof", "follows(a, b), follows(b, c)")
+//	p, err := s.Prepare(q, repro.Options{})
+//
+// ParseQuery accepts an optional rule head — "out(b, a) :- e(a, b)" — that
+// names the query and fixes the output variable order; unknown relations,
+// arity mismatches, and unbound head variables fail eagerly with typed
+// errors. Graph is a thin wrapper over Store (Graph.Store exposes the
+// benchmark schema as a store).
+//
+// Store.ReadTxn returns a snapshot read-transaction: every execution
+// through it observes the single index state pinned when the transaction
+// began, regardless of concurrent Apply batches — several counts and row
+// streams that must agree with each other run inside one transaction.
+// Store.Batch executes many prepared queries concurrently against one
+// shared snapshot under a worker budget (the serving regime: prepare once,
+// batch the point lookups).
 //
 // # Storage and index backends
 //

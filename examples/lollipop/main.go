@@ -23,7 +23,7 @@ func main() {
 	for _, i := range []int{2, 3} {
 		q := repro.Lollipops(i)
 		fmt.Printf("%s: %s\n", q.Name, q)
-		for _, alg := range []string{"lftj", "ms", "hybrid"} {
+		for _, alg := range []repro.Algorithm{repro.LFTJ, repro.MS, repro.Hybrid} {
 			p, err := g.Prepare(q, repro.Options{Algorithm: alg, Workers: 1})
 			if err != nil {
 				fmt.Printf("  %-8s error: %v\n", alg, err)

@@ -30,7 +30,7 @@ func main() {
 
 		var times []time.Duration
 		var count int64
-		for _, alg := range []string{"lftj", "ms"} {
+		for _, alg := range []repro.Algorithm{repro.LFTJ, repro.MS} {
 			// Samples changed above, so the physical design changed:
 			// re-prepare (the plan cache invalidated the stale plans) and
 			// time only the execution of the compiled query.

@@ -61,7 +61,7 @@ func main() {
 
 	// One-shot helpers still exist for quick comparisons; each prepares
 	// internally (hitting the plan cache for repeated shapes).
-	for _, alg := range []string{"ms", "graphlab", "psql"} {
+	for _, alg := range []repro.Algorithm{repro.MS, repro.GraphLab, repro.PSQL} {
 		start := time.Now()
 		n, err := repro.Count(ctx, g, q, repro.Options{Algorithm: alg})
 		if err != nil {

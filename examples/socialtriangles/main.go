@@ -26,7 +26,7 @@ func main() {
 		}
 		fmt.Printf("\n%s (%d nodes, %d edges)\n", name, g.Nodes(), g.Edges())
 		fmt.Printf("%-10s %12s %12s\n", "engine", "3-clique", "4-clique")
-		for _, alg := range []string{"lftj", "ms", "graphlab", "psql", "monetdb"} {
+		for _, alg := range []repro.Algorithm{repro.LFTJ, repro.MS, repro.GraphLab, repro.PSQL, repro.MonetDB} {
 			fmt.Printf("%-10s", alg)
 			for _, k := range []int{3, 4} {
 				// Compile once outside the timed region; the timeout

@@ -1,11 +1,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"repro/internal/relation"
 )
+
+// ErrUnknownBackend reports a backend name outside the registered set; API
+// callers branch with errors.Is instead of matching message text.
+var ErrUnknownBackend = errors.New("unknown index backend")
 
 // Backend names a physical trie-index implementation. The paper's engines
 // (§4.1) are defined against an abstract trie/B-tree index; this reproduction
@@ -54,8 +59,8 @@ func ParseBackend(s string) (Backend, error) {
 	case BackendCSRSharded:
 		return BackendCSRSharded, nil
 	}
-	return "", fmt.Errorf("core: unknown index backend %q (want %q, %q, or %q)",
-		s, BackendFlat, BackendCSR, BackendCSRSharded)
+	return "", fmt.Errorf("core: %w %q (want %q, %q, or %q)",
+		ErrUnknownBackend, s, BackendFlat, BackendCSR, BackendCSRSharded)
 }
 
 // TrieCursor is the per-execution iteration handle over one GAO-consistent
@@ -191,21 +196,39 @@ type Snapshotter interface {
 // consistent relation state; the input slice is returned unchanged when
 // nothing is snapshottable.
 func SnapshotAtoms(atoms []AtomIndex) []AtomIndex {
+	snapshottable := false
+	for _, a := range atoms {
+		if _, ok := a.Index.(Snapshotter); ok {
+			snapshottable = true
+			break
+		}
+	}
+	if !snapshottable {
+		return atoms
+	}
+	return snapshotWith(atoms, make(map[IndexBackend]IndexBackend, len(atoms)))
+}
+
+// snapshotWith resolves snapshottable atom indexes through memo, taking and
+// memoizing a snapshot for indexes not yet present; the per-execution
+// SnapshotAtoms passes a fresh memo, a Lease its persistent one. The input
+// slice is copied only when something actually resolves.
+func snapshotWith(atoms []AtomIndex, memo map[IndexBackend]IndexBackend) []AtomIndex {
 	out := atoms
-	var memo map[IndexBackend]IndexBackend
+	copied := false
 	for i, a := range atoms {
 		s, ok := a.Index.(Snapshotter)
 		if !ok {
 			continue
 		}
-		if memo == nil {
-			out = append([]AtomIndex(nil), atoms...)
-			memo = make(map[IndexBackend]IndexBackend, len(atoms))
-		}
 		v, seen := memo[a.Index]
 		if !seen {
 			v = s.Snapshot()
 			memo[a.Index] = v
+		}
+		if !copied {
+			out = append([]AtomIndex(nil), atoms...)
+			copied = true
 		}
 		out[i].Index = v
 	}
@@ -293,5 +316,5 @@ func NewIndexBackend(r *relation.Relation, backend Backend) (IndexBackend, error
 	case BackendCSRSharded:
 		return shardedIndex{t: relation.NewShardedCSR(r, 0)}, nil
 	}
-	return nil, fmt.Errorf("core: unknown index backend %q", backend)
+	return nil, fmt.Errorf("core: %w %q", ErrUnknownBackend, backend)
 }

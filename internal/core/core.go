@@ -71,6 +71,23 @@ func NewDB() *DB {
 func (db *DB) Add(r *relation.Relation) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.addLocked(r)
+}
+
+// AddAll registers several relations under one lock acquisition, so no
+// reader — in particular no snapshot lease — can observe some of them
+// replaced and others not (the multi-relation counterpart of Add, as
+// ApplyDeltas is of ApplyDelta; the benchmark schema's sample redraws
+// replace four relations at once).
+func (db *DB) AddAll(rels []*relation.Relation) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, r := range rels {
+		db.addLocked(r)
+	}
+}
+
+func (db *DB) addLocked(r *relation.Relation) {
 	db.version++
 	db.rels[r.Name()] = r
 	prefix := r.Name() + "/"
@@ -112,13 +129,48 @@ func (db *DB) Version() int64 {
 // rebuilt lazily (the flat permuted relations are re-derived from the merged
 // relation on next use; sharded tries are rebuilt on next bind).
 //
-// Inserts already present and deletes absent are ignored, and an insert
-// cancelling a delete (or vice versa) within one batch resolves to a no-op
-// for that tuple, so any caller batch is safe. This is the write path the
-// incremental views (internal/incremental) drive on every ApplyEdges batch.
+// Inserts already present and deletes absent are ignored, and a tuple
+// appearing on both sides of one batch resolves as delete-after-insert (an
+// absent tuple stays absent, a present one is deleted), so any caller batch
+// is safe. This is the write path the incremental views
+// (internal/incremental) drive on every ApplyEdges batch.
 func (db *DB) ApplyDelta(name string, inserts, deletes [][]int64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.applyDeltaLocked(name, inserts, deletes)
+}
+
+// DeltaBatch is one relation's update batch within a multi-relation delta.
+type DeltaBatch struct {
+	Name    string
+	Inserts [][]int64
+	Deletes [][]int64
+}
+
+// ApplyDeltas applies several relations' update batches under one lock
+// acquisition, so no reader — in particular no snapshot lease (NewLease) and
+// no index bind — can observe a state where some of the batches have landed
+// and others have not. This is the write path for derived-relation schemas
+// whose invariants span relations (the benchmark graph's symmetric "edge"
+// and oriented "fwd"). All batch names are validated up front; an unknown
+// relation fails the whole call before anything is applied.
+func (db *DB) ApplyDeltas(batches []DeltaBatch) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, b := range batches {
+		if _, ok := db.rels[b.Name]; !ok {
+			return fmt.Errorf("core: %w: %q", ErrUnknownRelation, b.Name)
+		}
+	}
+	for _, b := range batches {
+		if err := db.applyDeltaLocked(b.Name, b.Inserts, b.Deletes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) applyDeltaLocked(name string, inserts, deletes [][]int64) error {
 	r, ok := db.rels[name]
 	if !ok {
 		return fmt.Errorf("core: %w: %q", ErrUnknownRelation, name)

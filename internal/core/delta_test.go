@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/query"
@@ -236,5 +237,36 @@ func TestApplyDeltaSnapshotIsolation(t *testing.T) {
 	fresh := collect(t, idx)
 	if len(fresh) != 4 {
 		t.Errorf("post-delta cursor sees %d tuples, want 4", len(fresh))
+	}
+}
+
+// TestApplyDeltas: multi-relation batches land together, and an unknown
+// relation anywhere in the list fails the whole call before any batch is
+// applied.
+func TestApplyDeltas(t *testing.T) {
+	db := NewDB()
+	db.Add(relation.FromTuples("a", 2, [][]int64{{1, 2}}))
+	db.Add(relation.FromTuples("b", 2, [][]int64{{3, 4}}))
+	err := db.ApplyDeltas([]DeltaBatch{
+		{Name: "a", Inserts: [][]int64{{5, 6}}},
+		{Name: "b", Deletes: [][]int64{{3, 4}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := db.Relation("a")
+	rb, _ := db.Relation("b")
+	if ra.Len() != 2 || rb.Len() != 0 {
+		t.Errorf("a has %d rows (want 2), b has %d (want 0)", ra.Len(), rb.Len())
+	}
+	err = db.ApplyDeltas([]DeltaBatch{
+		{Name: "a", Inserts: [][]int64{{7, 8}}},
+		{Name: "zzz", Inserts: [][]int64{{0, 0}}},
+	})
+	if !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("err = %v, want ErrUnknownRelation", err)
+	}
+	if ra2, _ := db.Relation("a"); ra2.Len() != 2 {
+		t.Errorf("a mutated by a rejected multi-batch: %d rows", ra2.Len())
 	}
 }

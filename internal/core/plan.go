@@ -47,7 +47,10 @@ func (p *Plan) reads(rel string) bool {
 // PlanKey builds the plan-cache key for a query shape under one algorithm,
 // index backend, and (possibly empty) user-supplied GAO. variant
 // distinguishes compilations of the same shape that planner toggles would
-// change (e.g. Minesweeper with the skeleton idea disabled).
+// change (e.g. Minesweeper with the skeleton idea disabled). The query's
+// variable order is part of the key: two queries with the same atom list but
+// different output orders (a parsed head reorders Vars) resolve different
+// default GAOs and must not share a compilation.
 func PlanKey(algorithm, variant string, backend Backend, userGAO []string, q *query.Query) string {
 	var b strings.Builder
 	b.WriteString(algorithm)
@@ -57,6 +60,8 @@ func PlanKey(algorithm, variant string, backend Backend, userGAO []string, q *qu
 	b.WriteString(string(backend))
 	b.WriteByte('|')
 	b.WriteString(strings.Join(userGAO, ","))
+	b.WriteByte('|')
+	b.WriteString(strings.Join(q.Vars(), ","))
 	b.WriteByte('|')
 	b.WriteString(q.String())
 	return b.String()

@@ -128,20 +128,39 @@ func (g *Graph) SampleOfSize(rng *rand.Rand, k int) []int64 {
 	return out
 }
 
-// ReplaceSample swaps one named unary sample relation in place (the figure
-// sweeps grow samples without rebuilding edge indexes).
-func ReplaceSample(db *core.DB, name string, vals []int64) {
+// sampleRelation builds one unary sample relation.
+func sampleRelation(name string, vals []int64) *relation.Relation {
 	sb := relation.NewBuilder(name, 1)
 	for _, v := range vals {
 		sb.Add(v)
 	}
-	db.Add(sb.Build())
+	return sb.Build()
 }
 
-// ReplaceSamples swaps the v1/v2 samples of an existing database.
+// ReplaceSample swaps one named unary sample relation in place (the figure
+// sweeps grow samples without rebuilding edge indexes).
+func ReplaceSample(db *core.DB, name string, vals []int64) {
+	db.Add(sampleRelation(name, vals))
+}
+
+// ReplaceSamples swaps the v1/v2 samples of an existing database in one
+// atomic registration, so concurrent snapshot leases never observe one
+// sample generation mixed with another.
 func ReplaceSamples(db *core.DB, v1, v2 []int64) {
-	ReplaceSample(db, query.Sample1, v1)
-	ReplaceSample(db, query.Sample2, v2)
+	db.AddAll([]*relation.Relation{
+		sampleRelation(query.Sample1, v1),
+		sampleRelation(query.Sample2, v2),
+	})
+}
+
+// ReplaceNamedSamples swaps any set of named samples atomically (the
+// selectivity protocol redraws all four at once).
+func ReplaceNamedSamples(db *core.DB, samples map[string][]int64) {
+	rels := make([]*relation.Relation, 0, len(samples))
+	for name, vals := range samples {
+		rels = append(rels, sampleRelation(name, vals))
+	}
+	db.AddAll(rels)
 }
 
 // TriangleDensity classifies the generated graph (tests assert the regimes

@@ -8,9 +8,11 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +52,29 @@ const (
 // Algorithms lists every registered algorithm.
 func Algorithms() []Algorithm {
 	return []Algorithm{LFTJ, MS, Hybrid, PSQL, MonetDB, Yannakakis, GraphLab, GenericJoin}
+}
+
+// ErrUnknownAlgorithm reports an algorithm name outside the registered set;
+// API callers branch with errors.Is instead of matching message text.
+var ErrUnknownAlgorithm = errors.New("unknown algorithm")
+
+// ParseAlgorithm resolves a user-supplied algorithm name; empty selects LFTJ
+// (the default engine throughout the API).
+func ParseAlgorithm(s string) (Algorithm, error) {
+	a := Algorithm(s)
+	if a == "" {
+		return LFTJ, nil
+	}
+	for _, known := range Algorithms() {
+		if a == known {
+			return a, nil
+		}
+	}
+	names := make([]string, len(Algorithms()))
+	for i, k := range Algorithms() {
+		names[i] = string(k)
+	}
+	return "", fmt.Errorf("engine: %w %q (want one of %s)", ErrUnknownAlgorithm, s, strings.Join(names, ", "))
 }
 
 // Options configure execution.
@@ -98,7 +123,7 @@ func New(opts Options) (core.Engine, error) {
 	case GenericJoin:
 		return instrument(genericjoin.Engine{GAO: opts.GAO, Plan: opts.Plan}, opts.Stats), nil
 	default:
-		return nil, fmt.Errorf("engine: unknown algorithm %q", opts.Algorithm)
+		return nil, fmt.Errorf("engine: %w %q", ErrUnknownAlgorithm, opts.Algorithm)
 	}
 }
 

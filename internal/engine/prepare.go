@@ -14,10 +14,21 @@ import (
 // baselines, Yannakakis, GraphLab, and the hybrid) are validated and
 // returned unplanned — plan is nil and each run re-derives whatever internal
 // state it needs. Counters for the compilation land on opts.Stats.
+//
+// The algorithm and backend names are validated eagerly here with typed
+// errors (ErrUnknownAlgorithm, core.ErrUnknownBackend) — an unknown name
+// never falls through to engine selection or index binding.
 func Prepare(opts Options, q *query.Query, db *core.DB) (core.Engine, *core.Plan, error) {
-	if opts.Algorithm == "" {
-		opts.Algorithm = LFTJ
+	alg, err := ParseAlgorithm(string(opts.Algorithm))
+	if err != nil {
+		return nil, nil, err
 	}
+	opts.Algorithm = alg
+	backend, err := core.ParseBackend(string(opts.Backend))
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.Backend = backend
 	switch opts.Algorithm {
 	case LFTJ, MS, GenericJoin:
 		plan, err := CompilePlan(opts, q, db)

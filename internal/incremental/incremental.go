@@ -349,15 +349,20 @@ func NewGraphViewBackend(ctx context.Context, q *query.Query, db *core.DB, backe
 // ApplyEdges inserts and removes undirected edges, updating both derived
 // relations and the count.
 func (g *GraphView) ApplyEdges(ctx context.Context, insert, remove [][2]int64) error {
-	symIns, symDel := orient(insert, false), orient(remove, false)
-	fwdIns, fwdDel := orient(insert, true), orient(remove, true)
+	symIns, symDel := Orient(insert, false), Orient(remove, false)
+	fwdIns, fwdDel := Orient(insert, true), Orient(remove, true)
 	if err := g.UpdateRelation(ctx, query.Edge, symIns, symDel); err != nil {
 		return err
 	}
 	return g.UpdateRelation(ctx, query.Fwd, fwdIns, fwdDel)
 }
 
-func orient(edges [][2]int64, fwdOnly bool) [][]int64 {
+// Orient turns undirected edges into benchmark-schema tuples: both
+// directions for the symmetric "edge" relation, or just the u<v orientation
+// for "fwd" (fwdOnly). Self-loops are dropped. Every write path that keeps
+// the benchmark schema's invariants — this view's ApplyEdges and the public
+// Graph.ApplyEdges — routes through it.
+func Orient(edges [][2]int64, fwdOnly bool) [][]int64 {
 	var out [][]int64
 	for _, e := range edges {
 		u, v := e[0], e[1]

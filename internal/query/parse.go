@@ -6,21 +6,37 @@ import (
 	"unicode"
 )
 
-// Parse reads a query in the Datalog-style body syntax the paper uses in
-// §5.1, e.g.
+// Parse reads a query in the Datalog-style syntax the paper uses in §5.1 —
+// either a bare body,
 //
 //	v1(a), v2(d), edge(a, b), edge(b, c), edge(c, d)
 //
+// or a full rule whose head names the query and fixes the output variable
+// order (the head must list every body variable exactly once, each bound by
+// some body atom):
+//
+//	chain(a, d) :- ...   // rejected: projection
+//	chain(d, c, b, a) :- v1(a), edge(a, b), edge(b, c), edge(c, d)
+//
 // Relation and variable names are identifiers ([A-Za-z_][A-Za-z0-9_]*).
-// Whitespace is insignificant. A trailing period is permitted.
+// Whitespace is insignificant. A trailing period is permitted. For a bare
+// body the name argument names the query; a head overrides it.
 func Parse(name, src string) (*Query, error) {
 	p := &parser{src: src}
 	var atoms []Atom
+	var head *Atom
 	p.skipSpace()
 	for !p.done() {
 		atom, err := p.atom()
 		if err != nil {
 			return nil, fmt.Errorf("query %q: %w", name, err)
+		}
+		p.skipSpace()
+		if head == nil && len(atoms) == 0 && p.hasRuleArrow() {
+			head = &atom
+			p.pos += 2
+			p.skipSpace()
+			continue
 		}
 		atoms = append(atoms, atom)
 		p.skipSpace()
@@ -39,7 +55,19 @@ func Parse(name, src string) (*Query, error) {
 	if !p.done() {
 		return nil, fmt.Errorf("query %q: trailing input at offset %d: %q", name, p.pos, p.src[p.pos:])
 	}
-	q := New(name, atoms...)
+	var q *Query
+	if head != nil {
+		if len(atoms) == 0 {
+			return nil, fmt.Errorf("query %q: rule %s has an empty body", name, head.Rel)
+		}
+		var err error
+		q, err = NewHeaded(head.Rel, head.Vars, atoms...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		q = New(name, atoms...)
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,6 +89,11 @@ type parser struct {
 }
 
 func (p *parser) done() bool { return p.pos >= len(p.src) }
+
+// hasRuleArrow reports whether ":-" starts at the current position.
+func (p *parser) hasRuleArrow() bool {
+	return p.pos+1 < len(p.src) && p.src[p.pos] == ':' && p.src[p.pos+1] == '-'
+}
 
 func (p *parser) peek() byte {
 	if p.done() {

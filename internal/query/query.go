@@ -5,9 +5,14 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
+
+// ErrUnboundHeadVar reports a head variable of a rule-form query that no body
+// atom binds; callers branch with errors.Is.
+var ErrUnboundHeadVar = errors.New("head variable not bound by the body")
 
 // Atom is one relational atom R(x1, ..., xk). Vars are variable names; a
 // variable may repeat within an atom (self-join on a column).
@@ -42,6 +47,37 @@ func New(name string, atoms ...Atom) *Query {
 		}
 	}
 	return q
+}
+
+// NewHeaded returns a query in rule form: the head names the query and fixes
+// the output variable order (results are emitted in head order rather than
+// first-appearance order). Every head variable must be bound by some body
+// atom (ErrUnboundHeadVar otherwise), head variables must be distinct, and
+// the head must cover every body variable — the engines emit full bindings,
+// so a strict subset would be a projection, which the head form does not
+// express.
+func NewHeaded(name string, head []string, atoms ...Atom) (*Query, error) {
+	q := New(name, atoms...)
+	bound := make(map[string]bool, len(q.vars))
+	for _, v := range q.vars {
+		bound[v] = true
+	}
+	seen := make(map[string]bool, len(head))
+	for _, v := range head {
+		if seen[v] {
+			return nil, fmt.Errorf("query %q: head repeats variable %s", name, v)
+		}
+		seen[v] = true
+		if !bound[v] {
+			return nil, fmt.Errorf("query %q: %w: %s", name, ErrUnboundHeadVar, v)
+		}
+	}
+	if len(head) != len(q.vars) {
+		return nil, fmt.Errorf("query %q: head covers %d of %d body variables (projection is not supported; list every variable)",
+			name, len(head), len(q.vars))
+	}
+	q.vars = append([]string(nil), head...)
+	return q, nil
 }
 
 // Vars returns the query's variables in first-appearance order. The returned

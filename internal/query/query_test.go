@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -172,5 +173,40 @@ func TestValidate(t *testing.T) {
 	}
 	if err := Clique(3).Validate(); err != nil {
 		t.Errorf("Clique(3) invalid: %v", err)
+	}
+}
+
+func TestParseRuleHead(t *testing.T) {
+	q, err := Parse("ignored", "rev(b, a) :- e(a, b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "rev" {
+		t.Errorf("name = %q, want rev", q.Name)
+	}
+	if vars := q.Vars(); len(vars) != 2 || vars[0] != "b" || vars[1] != "a" {
+		t.Errorf("vars = %v, want [b a]", vars)
+	}
+	if len(q.Atoms) != 1 || q.Atoms[0].Rel != "e" {
+		t.Errorf("atoms = %v", q.Atoms)
+	}
+}
+
+func TestParseRuleHeadErrors(t *testing.T) {
+	if _, err := Parse("q", "out(a, z) :- e(a, b)"); !errors.Is(err, ErrUnboundHeadVar) {
+		t.Errorf("unbound head var: %v, want ErrUnboundHeadVar", err)
+	}
+	if _, err := Parse("q", "out(a) :- e(a, b)"); err == nil {
+		t.Error("projection head should fail")
+	}
+	if _, err := Parse("q", "out(a, a) :- e(a, b)"); err == nil {
+		t.Error("duplicate head variable should fail")
+	}
+	if _, err := Parse("q", "out(a, b) :- "); err == nil {
+		t.Error("empty body should fail")
+	}
+	// ":-" after a later atom is trailing garbage, not a second head.
+	if _, err := Parse("q", "e(a, b), out(a, b) :- e(b, a)"); err == nil {
+		t.Error("mid-query rule arrow should fail")
 	}
 }

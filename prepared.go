@@ -11,7 +11,7 @@ import (
 	"repro/internal/engine"
 )
 
-// Prepared is a compiled query pinned against a graph's physical design:
+// Prepared is a compiled query pinned against a store's physical design:
 // Prepare validates the query once, fixes the global attribute order, binds
 // the GAO-consistent indexes (§4.1), and selects the engine — so every
 // subsequent Count, Enumerate, or Rows call is pure execution. This is the
@@ -21,40 +21,46 @@ import (
 //
 // A Prepared handle is safe for concurrent use: the plan is immutable, every
 // execution builds its own iterator and memo state, and the stats collector
-// is synchronized. The handle keeps the physical design it was compiled
-// against — mutating the graph afterwards (SetSelectivity, SetSamples, view
-// maintenance) does not re-point existing handles; Prepare again to pick up
-// the new design. The underlying plan cache makes re-preparing an unchanged
-// shape cheap.
+// is synchronized. On the default CSR backend, incremental writes routed
+// through Store.Apply advance the handle's indexes in place, so the handle
+// keeps serving current data; handles on the flat and csr-sharded backends
+// hold immutable indexes and keep serving their Prepare-time state after
+// writes. Bulk replacements (Store.Load, SetSelectivity, SetSamples) swap
+// whole relations and never re-point existing handles on any backend. In
+// both cases, Prepare again to pick up the new design — the underlying plan
+// cache makes re-preparing an unchanged shape cheap.
 type Prepared struct {
-	g    *Graph
-	q    *Query
-	alg  string
-	eng  core.Engine
-	plan *core.Plan
-	sc   *core.StatsCollector
+	s       *Store
+	q       *Query
+	alg     string
+	engOpts engine.Options
+	eng     core.Engine
+	plan    *core.Plan
+	sc      *core.StatsCollector
 }
 
-// Prepare compiles the query against this graph for the configured engine.
-// For the plan-aware algorithms (lftj, ms, genericjoin) the compiled plan is
-// cached on the graph's database — keyed on query shape × algorithm × GAO
-// and invalidated when a relation it reads is replaced — so preparing the
-// same shape twice reuses the first compilation.
-func (g *Graph) Prepare(q *Query, opts Options) (*Prepared, error) {
+// prepare compiles the query against a store (schema checks already done by
+// the callers). For the plan-aware algorithms (lftj, ms, genericjoin) the
+// compiled plan is cached on the store's database — keyed on query shape ×
+// algorithm × backend × GAO and invalidated when a relation it reads is
+// replaced — so preparing the same shape twice reuses the first compilation.
+func prepare(s *Store, q *Query, opts Options) (*Prepared, error) {
 	sc := &core.StatsCollector{}
 	engOpts := opts.engineOptions()
 	engOpts.Stats = sc
-	eng, plan, err := engine.Prepare(engOpts, q, g.db)
+	eng, plan, err := engine.Prepare(engOpts, q, s.db)
 	if err != nil {
 		return nil, err
 	}
+	engOpts.Plan = plan
 	return &Prepared{
-		g:    g,
-		q:    q,
-		alg:  string(engOpts.Algorithm),
-		eng:  eng,
-		plan: plan,
-		sc:   sc,
+		s:       s,
+		q:       q,
+		alg:     string(engOpts.Algorithm),
+		engOpts: engOpts,
+		eng:     eng,
+		plan:    plan,
+		sc:      sc,
 	}, nil
 }
 
@@ -66,14 +72,14 @@ func (p *Prepared) Algorithm() string { return p.alg }
 
 // Count executes the compiled plan and returns the number of result tuples.
 func (p *Prepared) Count(ctx context.Context) (int64, error) {
-	return p.eng.Count(ctx, p.q, p.g.db)
+	return p.eng.Count(ctx, p.q, p.s.db)
 }
 
 // Enumerate executes the compiled plan, streaming result tuples with
 // bindings in q.Vars() order; emit returns false to stop early. The tuple
 // slice is reused between calls — copy it to retain it.
 func (p *Prepared) Enumerate(ctx context.Context, emit func([]int64) bool) error {
-	return p.eng.Enumerate(ctx, p.q, p.g.db, emit)
+	return p.eng.Enumerate(ctx, p.q, p.s.db, emit)
 }
 
 // Rows executes the compiled plan as a streaming iterator over result
@@ -87,19 +93,33 @@ func (p *Prepared) Enumerate(ctx context.Context, emit func([]int64) bool) error
 // budgets (e.g. the pairwise baselines' MaxRows) can fail for other
 // reasons.
 func (p *Prepared) Rows(ctx context.Context) iter.Seq[[]int64] {
-	return func(yield func([]int64) bool) {
-		_ = p.eng.Enumerate(ctx, p.q, p.g.db, func(t []int64) bool {
-			return yield(append([]int64(nil), t...))
-		})
-	}
+	return rowsSeq(p.Enumerate, ctx)
 }
 
 // RowsErr is Rows with an explicit error: it yields (tuple, nil) for every
 // result and, if execution fails mid-stream, a final (nil, err) pair.
 func (p *Prepared) RowsErr(ctx context.Context) iter.Seq2[[]int64, error] {
+	return rowsErrSeq(p.Enumerate, ctx)
+}
+
+// rowsSeq adapts an Enumerate-shaped execution into a streaming iterator
+// with owned tuple copies, discarding any mid-stream error (Prepared.Rows
+// and Txn.Rows share it).
+func rowsSeq(enumerate func(context.Context, func([]int64) bool) error, ctx context.Context) iter.Seq[[]int64] {
+	return func(yield func([]int64) bool) {
+		_ = enumerate(ctx, func(t []int64) bool {
+			return yield(append([]int64(nil), t...))
+		})
+	}
+}
+
+// rowsErrSeq is rowsSeq with the explicit-error protocol: (tuple, nil) per
+// result, and a final (nil, err) pair when execution fails before the
+// consumer stopped.
+func rowsErrSeq(enumerate func(context.Context, func([]int64) bool) error, ctx context.Context) iter.Seq2[[]int64, error] {
 	return func(yield func([]int64, error) bool) {
 		stopped := false
-		err := p.eng.Enumerate(ctx, p.q, p.g.db, func(t []int64) bool {
+		err := enumerate(ctx, func(t []int64) bool {
 			ok := yield(append([]int64(nil), t...), nil)
 			stopped = !ok
 			return ok
@@ -145,9 +165,9 @@ type Explanation struct {
 	Planned bool
 	// GAO is the resolved global attribute order (nil when not Planned).
 	GAO []string
-	// Backend is the index backend every atom is bound under ("flat",
-	// "csr", or "csr-sharded"; empty when not Planned).
-	Backend string
+	// Backend is the index backend every atom is bound under (BackendFlat,
+	// BackendCSR, or BackendCSRSharded; empty when not Planned).
+	Backend Backend
 	// BetaCyclic reports whether the query needed Minesweeper's skeleton
 	// split (and drives the §4.10 parallel-granularity default).
 	BetaCyclic bool
@@ -195,7 +215,7 @@ func (p *Prepared) Explain() Explanation {
 		Query:     p.q.String(),
 		Algorithm: p.alg,
 	}
-	if sizes, err := relationSizes(p.g, p.q); err == nil {
+	if sizes, err := relationSizes(p.s.db, p.q); err == nil {
 		if res, err := agm.Compute(p.q, sizes); err == nil {
 			e.AGMBound = res.Bound()
 		}
@@ -206,7 +226,7 @@ func (p *Prepared) Explain() Explanation {
 	}
 	e.Planned = true
 	e.GAO = append([]string(nil), plan.GAO...)
-	e.Backend = string(plan.Backend)
+	e.Backend = plan.Backend
 	e.BetaCyclic = plan.BetaCyclic
 	for i, a := range plan.Atoms {
 		cols := make([]string, len(a.VarPos))
@@ -225,10 +245,10 @@ func (p *Prepared) Explain() Explanation {
 }
 
 // relationSizes collects each atom's relation cardinality.
-func relationSizes(g *Graph, q *Query) ([]int, error) {
+func relationSizes(db *core.DB, q *Query) ([]int, error) {
 	sizes := make([]int, len(q.Atoms))
 	for i, a := range q.Atoms {
-		r, err := g.db.Relation(a.Rel)
+		r, err := db.Relation(a.Rel)
 		if err != nil {
 			return nil, err
 		}

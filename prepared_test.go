@@ -15,7 +15,7 @@ func TestPrepareExecuteCompilesOnce(t *testing.T) {
 	ctx := context.Background()
 	g := GenerateGraph(BarabasiAlbert, 300, 1200, 6)
 	g.SetSelectivity(5, 2)
-	for _, alg := range []string{"lftj", "ms", "genericjoin"} {
+	for _, alg := range []Algorithm{LFTJ, MS, GenericJoin} {
 		q := Paths(3)
 		p, err := g.Prepare(q, Options{Algorithm: alg, Workers: 1})
 		if err != nil {
@@ -302,7 +302,7 @@ func TestExplainBenchmarkQueries(t *testing.T) {
 		Trees(1), Trees(2), Comb(), Lollipops(2),
 	}
 	for _, q := range queries {
-		for _, alg := range []string{"lftj", "ms"} {
+		for _, alg := range []Algorithm{LFTJ, MS} {
 			p, err := g.Prepare(q, Options{Algorithm: alg})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", q.Name, alg, err)
@@ -344,7 +344,7 @@ func TestPreparedStatsEveryEngine(t *testing.T) {
 	g := k4()
 	g.SetSamples([]int64{0}, []int64{3})
 	for _, tc := range []struct {
-		alg string
+		alg Algorithm
 		q   *Query
 	}{
 		{"lftj", Triangles()},

@@ -7,7 +7,13 @@
 # i.e. a >10% aggregate slowdown fails). Individual benchmarks are noisy at
 # -benchtime=1x — the geomean across the whole suite is what gates.
 #
-# Exit codes: 0 pass (or nothing comparable), 1 regression, 2 usage error.
+# On the first run there is no previous artifact: a missing OLD file is not
+# an error — the gate passes with a notice, so fresh clones, forks, and the
+# first CI run of a repository go green. A missing NEW file is still a usage
+# error (the caller forgot to produce the current run).
+#
+# Exit codes: 0 pass (or nothing comparable / first run), 1 regression,
+# 2 usage error.
 set -eu
 
 if [ $# -ne 2 ]; then
@@ -18,8 +24,12 @@ old="$1"
 new="$2"
 max="${BENCHGATE_MAX_REGRESSION:-0.10}"
 
-if [ ! -f "$old" ] || [ ! -f "$new" ]; then
-    echo "benchgate: missing input file; skipping gate" >&2
+if [ ! -f "$new" ]; then
+    echo "benchgate: current benchmark output $new not found" >&2
+    exit 2
+fi
+if [ ! -f "$old" ]; then
+    echo "benchgate: no previous benchmark artifact ($old) — first run, nothing to compare against; gate passes"
     exit 0
 fi
 

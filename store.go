@@ -1,0 +1,274 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/agm"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// ErrArityMismatch reports a query atom (or a loaded tuple) whose arity
+// disagrees with the relation's declared arity; branch with errors.Is.
+var ErrArityMismatch = errors.New("arity mismatch")
+
+// ErrRelationExists reports a DefineRelation call naming an already-defined
+// relation.
+var ErrRelationExists = errors.New("relation already defined")
+
+// ErrValueOutOfRange reports a loaded or applied tuple value outside the
+// storage domain [0, relation.PosInf) — the storage layer reserves negative
+// values and the top of the int64 range as sentinels.
+var ErrValueOutOfRange = errors.New("value outside the storage domain")
+
+// checkDomain validates one tuple against the declared arity and the
+// storage value domain, so the public write surface reports typed errors
+// instead of tripping the storage layer's internal panics.
+func checkDomain(op, name string, arity int, t []int64) error {
+	if len(t) != arity {
+		return fmt.Errorf("store: %w: %s of %d-ary tuple %v, relation %q has arity %d", ErrArityMismatch, op, len(t), t, name, arity)
+	}
+	for _, v := range t {
+		if v < 0 || v >= relation.PosInf {
+			return fmt.Errorf("store: %w: %s of tuple %v into %q (values must be in [0, %d))", ErrValueOutOfRange, op, t, name, relation.PosInf)
+		}
+	}
+	return nil
+}
+
+// Store is the general-schema workload surface: a named collection of
+// relations of arbitrary arity, queried with conjunctive graph-pattern
+// queries over that schema. Where Graph exposes the paper's fixed §5.1
+// benchmark schema (edge/fwd/v1..v4), a Store lets the caller define the
+// schema — directed graphs, edge-labeled graphs (one relation per label),
+// and arbitrary n-ary relations are all ordinary multi-relation schemas.
+//
+// The lifecycle is the one the paper assumes of LogicBlox: define the
+// physical design once (DefineRelation + Load), compile queries against it
+// once (Prepare), then execute repeatedly while Apply routes incremental
+// update batches through the database's delta overlays so compiled plans
+// stay valid. ReadTxn pins one index snapshot across several executions and
+// Batch executes many prepared queries concurrently against one shared
+// snapshot.
+//
+// A Store is safe for concurrent use.
+type Store struct {
+	db *core.DB
+	// mu serializes DefineRelation's exists-check against its registration;
+	// the schema itself lives in the database (relations carry their arity).
+	mu sync.Mutex
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{db: core.NewDB()}
+}
+
+// newStoreOver adopts an existing database (the Graph constructors build the
+// benchmark schema through internal/dataset and wrap it as a store).
+func newStoreOver(db *core.DB) *Store {
+	return &Store{db: db}
+}
+
+// DefineRelation declares a named relation of the given arity and registers
+// it empty, so queries over it compile before the first Load. Names must be
+// identifiers ([A-Za-z_][A-Za-z0-9_]*) — the ParseQuery syntax has to be able
+// to name them — and arity must be at least 1. Redefining a name fails with
+// ErrRelationExists; use Load to replace a relation's contents.
+func (s *Store) DefineRelation(name string, arity int) error {
+	if !isIdent(name) {
+		return fmt.Errorf("store: relation name %q is not an identifier", name)
+	}
+	if arity < 1 {
+		return fmt.Errorf("store: relation %q: arity %d out of range (want >= 1)", name, arity)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.db.Relation(name); err == nil {
+		return fmt.Errorf("store: %w: %q", ErrRelationExists, name)
+	}
+	s.db.Add(relation.NewBuilder(name, arity).Build())
+	return nil
+}
+
+// Relations returns the schema as sorted relation names; Arity looks up one
+// relation's arity.
+func (s *Store) Relations() []string {
+	names := s.db.Names()
+	sort.Strings(names)
+	return names
+}
+
+// Arity returns the declared arity of the named relation
+// (ErrUnknownRelation if it does not exist).
+func (s *Store) Arity(name string) (int, error) {
+	r, err := s.db.Relation(name)
+	if err != nil {
+		return 0, err
+	}
+	return r.Arity(), nil
+}
+
+// Load replaces the named relation's contents with the given tuples in one
+// bulk registration (duplicates merge; tuples must match the declared arity
+// and carry values in [0, relation.PosInf)). Loading rebuilds the relation's
+// physical indexes and invalidates compiled plans that read it — it is the
+// bulk path; route incremental changes through Apply, which keeps prepared
+// plans on the default backend valid.
+func (s *Store) Load(name string, tuples [][]int64) error {
+	arity, err := s.Arity(name)
+	if err != nil {
+		return err
+	}
+	b := relation.NewBuilder(name, arity)
+	for _, t := range tuples {
+		if err := checkDomain("load", name, arity, t); err != nil {
+			return err
+		}
+		b.Add(t...)
+	}
+	s.db.Add(b.Build())
+	return nil
+}
+
+// Apply applies an incremental update batch to the named relation: inserts
+// already present and deletes absent are ignored, and a tuple appearing on
+// both sides of one batch resolves as delete-after-insert — an absent tuple
+// stays absent, a present one is deleted. The batch routes through the
+// database's delta path (core.DB.ApplyDelta), which folds it into the cached
+// CSR indexes' delta overlays — compiled plans on the CSR backend (the
+// default) stay valid and keep serving current data, which is what makes
+// prepare-once / execute-repeatedly hold under a live write stream. Plans on
+// the flat and csr-sharded backends hold immutable indexes and keep serving
+// their Prepare-time state; re-Prepare those after writes.
+func (s *Store) Apply(name string, inserts, deletes [][]int64) error {
+	arity, err := s.Arity(name)
+	if err != nil {
+		return err
+	}
+	for _, t := range inserts {
+		if err := checkDomain("insert", name, arity, t); err != nil {
+			return err
+		}
+	}
+	for _, t := range deletes {
+		if err := checkDomain("delete", name, arity, t); err != nil {
+			return err
+		}
+	}
+	return s.db.ApplyDelta(name, inserts, deletes)
+}
+
+// CheckQuery validates a query against the store's schema: every atom must
+// name a stored relation (ErrUnknownRelation) with matching arity
+// (ErrArityMismatch). Prepare and ParseQuery run it implicitly.
+func (s *Store) CheckQuery(q *Query) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	for _, a := range q.Atoms {
+		arity, err := s.Arity(a.Rel)
+		if err != nil {
+			return fmt.Errorf("store: query %q: %w", q.Name, err)
+		}
+		if arity != len(a.Vars) {
+			return fmt.Errorf("store: query %q: %w: atom %s has %d variables but relation %q has arity %d",
+				q.Name, ErrArityMismatch, a, len(a.Vars), a.Rel, arity)
+		}
+	}
+	return nil
+}
+
+// ParseQuery parses the Datalog-style syntax over this store's schema and
+// validates it eagerly: a bare body ("follows(a,b), follows(b,c)") or a full
+// rule whose head names the query and fixes the output variable order
+// ("fof(a, c) :- follows(a, b), follows(b, c)" — rejected here because the
+// head must list every body variable; "fof(c, b, a) :- ..." reorders).
+// Unknown relations, arity mismatches, and unbound head variables surface as
+// typed errors (ErrUnknownRelation, ErrArityMismatch, ErrUnboundHeadVar).
+func (s *Store) ParseQuery(name, src string) (*Query, error) {
+	q, err := query.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.CheckQuery(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Prepare compiles the query against this store for the configured engine:
+// schema check, algorithm/backend validation (ErrUnknownAlgorithm,
+// ErrUnknownBackend), GAO resolution, and GAO-consistent index binding all
+// happen here — every subsequent Count/Enumerate/Rows call on the returned
+// handle is pure execution. Compiled plans are cached on the store's
+// database, keyed on query shape × algorithm × backend × GAO.
+func (s *Store) Prepare(q *Query, opts Options) (*Prepared, error) {
+	if err := s.CheckQuery(q); err != nil {
+		return nil, err
+	}
+	return prepare(s, q, opts)
+}
+
+// Count evaluates the query on the store and returns the number of results.
+// It is a one-shot convenience over Prepare — repeated executions of the
+// same query should hold a Prepared handle instead.
+func (s *Store) Count(ctx context.Context, q *Query, opts Options) (int64, error) {
+	p, err := s.Prepare(q, opts)
+	if err != nil {
+		return 0, err
+	}
+	return p.Count(ctx)
+}
+
+// Enumerate streams result tuples with bindings in q.Vars() order; emit
+// returns false to stop early. One-shot convenience over Prepare.
+func (s *Store) Enumerate(ctx context.Context, q *Query, opts Options, emit func([]int64) bool) error {
+	p, err := s.Prepare(q, opts)
+	if err != nil {
+		return err
+	}
+	return p.Enumerate(ctx, emit)
+}
+
+// AGMBound returns the Atserias–Grohe–Marx worst-case output bound of the
+// query on this store's relation sizes (paper Appendix A).
+func (s *Store) AGMBound(q *Query) (float64, error) {
+	sizes, err := relationSizes(s.db, q)
+	if err != nil {
+		return 0, fmt.Errorf("agm: %w", err)
+	}
+	res, err := agm.Compute(q, sizes)
+	if err != nil {
+		return 0, err
+	}
+	return res.Bound(), nil
+}
+
+// DB exposes the underlying database (for the benchmark harness and the
+// internal packages).
+func (s *Store) DB() *core.DB { return s.db }
+
+// isIdent reports whether name is a ParseQuery-compatible identifier.
+func isIdent(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
