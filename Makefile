@@ -2,7 +2,7 @@
 # jobs (.github/workflows/ci.yml), so "it passed make" and "it passed CI"
 # mean the same thing.
 
-.PHONY: help build test race lint bench bench-smoke bench-gate clean
+.PHONY: help build test race lint integration bench bench-smoke bench-gate clean
 
 help:
 	@echo "Available targets:"
@@ -11,6 +11,7 @@ help:
 	@echo "  make test         - Run the full test suite"
 	@echo "  make race         - Run the test suite under the race detector"
 	@echo "  make lint         - gofmt check + go vet + staticcheck (if installed)"
+	@echo "  make integration  - graphjoind/graphjoin client-server smoke test"
 	@echo "  make bench        - Run all benchmarks (every index backend)"
 	@echo "  make bench-smoke  - Run every benchmark once (the CI smoke job)"
 	@echo "  make bench-gate   - Gate bench-smoke.txt against bench-smoke.old.txt"
@@ -36,6 +37,9 @@ lint:
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
+
+integration:
+	scripts/integration.sh
 
 bench:
 	go test -bench . -benchmem -run '^$$' ./...

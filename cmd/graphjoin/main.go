@@ -16,6 +16,16 @@
 //	    -load follows=follows.tsv -load likes=likes.tsv \
 //	    -datalog 'follows(a,b), follows(b,c), likes(c,a)'
 //
+// With -connect the same query flags run against a remote graphjoind server
+// instead of an in-process store — the query executes server-side against
+// the server's shared indexes:
+//
+//	graphjoin -connect db-host:7474 -query 3-clique -engine ms
+//	graphjoin -connect db-host:7474 -store social \
+//	    -datalog 'follows(a,b), follows(b,c)'
+//	graphjoin -connect db-host:7474 -relation e:2 -load e=edges.tsv \
+//	    -datalog 'e(a,b), e(b,c)'
+//
 // The query is prepared once (validated, GAO fixed, indexes bound) and then
 // executed -repeat times; -explain prints the compiled plan and -stats the
 // unified execution counters.
@@ -25,32 +35,29 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"repro"
-	"repro/internal/query"
+	"repro/client"
+	"repro/internal/cli"
 )
 
-// listFlag collects a repeatable string flag.
-type listFlag []string
-
-func (l *listFlag) String() string { return strings.Join(*l, ",") }
-func (l *listFlag) Set(s string) error {
-	*l = append(*l, s)
-	return nil
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "graphjoin: %v\n", err)
+		os.Exit(1)
+	}
 }
 
-func main() {
-	var relations, loads listFlag
+func run() error {
+	var relations, loads cli.ListFlag
 	var (
+		connect     = flag.String("connect", "", "address of a graphjoind server; runs the query remotely")
+		storeName   = flag.String("store", "", "named store on a multi-tenant server (with -connect; default \"default\")")
 		datasetName = flag.String("dataset", "", "catalog dataset name (see DESIGN.md)")
 		model       = flag.String("model", "ba", "generator when -dataset empty: er | ba | hk")
 		nodes       = flag.Int("nodes", 10000, "generated graph nodes")
@@ -63,7 +70,7 @@ func main() {
 		selectivity = flag.Int("selectivity", 10, "node-sample selectivity s (samples pick nodes w.p. 1/s)")
 		timeout     = flag.Duration("timeout", 30*time.Minute, "execution timeout (paper protocol: 30m)")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = all cores)")
-		showAGM     = flag.Bool("agm", false, "print the AGM output-size bound")
+		showAGM     = flag.Bool("agm", false, "print the AGM output-size bound (local modes only)")
 		explain     = flag.Bool("explain", false, "print the compiled plan (GAO, per-atom index, AGM bound)")
 		showStats   = flag.Bool("stats", false, "print the unified execution counters after the run")
 		repeat      = flag.Int("repeat", 1, "executions of the prepared query (plan compiled once)")
@@ -72,86 +79,131 @@ func main() {
 	flag.Var(&loads, "load", "load a defined relation from a file of integer rows, as name=path (repeatable)")
 	flag.Parse()
 
-	var s *repro.Store
-	var desc string
-	if len(relations) > 0 {
-		if *datalog == "" {
-			log.Fatal("-relation requires a -datalog query over the defined schema")
-		}
-		// The graph-mode flags have no meaning against a user-defined
-		// schema; reject them instead of silently dropping them.
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// rejectGraphFlags refuses the benchmark-graph flags in modes where they
+	// have no meaning, instead of silently dropping them.
+	rejectGraphFlags := func(mode string) error {
+		var bad error
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "dataset", "model", "nodes", "edges", "seed", "selectivity", "query":
-				log.Fatalf("-%s applies to the benchmark graph mode and conflicts with -relation", f.Name)
+			case "dataset", "model", "nodes", "edges", "seed", "selectivity":
+				bad = fmt.Errorf("-%s applies to the benchmark graph mode and conflicts with %s", f.Name, mode)
 			}
 		})
-		s = buildStore(relations, loads)
-		var parts []string
-		for _, name := range s.Relations() {
-			arity, _ := s.Arity(name)
-			n := 0
-			if r, err := s.DB().Relation(name); err == nil {
-				n = r.Len()
-			}
-			parts = append(parts, fmt.Sprintf("%s/%d (%d tuples)", name, arity, n))
+		return bad
+	}
+
+	if *storeName != "" && *connect == "" {
+		return fmt.Errorf("-store selects a tenant on a server and requires -connect")
+	}
+
+	var qr repro.Querier
+	var store *repro.Store // non-nil in the local modes (AGM bound)
+	var desc string
+	switch {
+	case *connect != "":
+		if err := rejectGraphFlags("-connect"); err != nil {
+			return err
 		}
-		desc = "store: " + strings.Join(parts, ", ")
-	} else {
+		// The -timeout budget also bounds every schema/setup round trip, so
+		// an unresponsive server cannot hang the CLI.
+		opts := []client.Option{client.WithRequestTimeout(*timeout)}
+		if *storeName != "" {
+			opts = append(opts, client.WithStore(*storeName))
+		}
+		c, err := client.Dial(ctx, *connect, opts...)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if err := cli.SetupSchema(c, relations, loads); err != nil {
+			return err
+		}
+		qr = c
+		desc = fmt.Sprintf("remote %s: %s", *connect, cli.DescribeSchema(ctx, c))
+	case len(relations) > 0:
+		if *datalog == "" {
+			return fmt.Errorf("-relation requires a -datalog query over the defined schema")
+		}
+		if err := rejectGraphFlags("-relation"); err != nil {
+			return err
+		}
+		if err := rejectQueryFlag(); err != nil {
+			return err
+		}
+		store = repro.NewStore()
+		qr = repro.Local(store)
+		if err := cli.SetupSchema(qr, relations, loads); err != nil {
+			return err
+		}
+		desc = "store: " + cli.DescribeSchema(ctx, qr)
+	default:
 		if len(loads) > 0 {
-			log.Fatal("-load requires the relations to be defined with -relation")
+			return fmt.Errorf("-load requires the relations to be defined with -relation (or a -connect server that defines them)")
 		}
-		g := buildGraph(*datasetName, *model, *nodes, *edges, *seed)
+		g, err := cli.BuildGraph(*datasetName, *model, *nodes, *edges, *seed)
+		if err != nil {
+			return err
+		}
 		g.SetSelectivity(*selectivity, *seed)
-		s = g.Store()
+		store = g.Store()
+		qr = repro.Local(store)
 		desc = fmt.Sprintf("graph: %d nodes, %d edges", g.Nodes(), g.Edges())
 	}
 
 	var q *repro.Query
 	var err error
 	if *datalog != "" {
-		q, err = s.ParseQuery("adhoc", *datalog)
-		if err != nil {
-			log.Fatal(err)
-		}
+		q, err = qr.ParseQuery("adhoc", *datalog)
 	} else {
-		q, err = namedQuery(*queryName)
-		if err != nil {
-			log.Fatal(err)
-		}
+		q, err = cli.NamedQuery(*queryName)
+	}
+	if err != nil {
+		return err
 	}
 
 	fmt.Printf("%s; query %s: %s\n", desc, q.Name, q)
-	if *showAGM {
-		if bound, err := s.AGMBound(q); err == nil {
+	if *showAGM && store != nil {
+		if bound, err := store.AGMBound(q); err == nil {
 			fmt.Printf("AGM bound: %.3g\n", bound)
 		}
 	}
 
 	// Prepare once: the query is validated, the GAO fixed, and the
-	// GAO-consistent indexes bound here; the executions below are pure.
+	// GAO-consistent indexes bound here (server-side under -connect); the
+	// executions below are pure.
 	prepStart := time.Now()
-	p, err := s.Prepare(q, repro.Options{
+	p, err := qr.Prepare(q, repro.Options{
 		Algorithm: repro.Algorithm(*engineName),
 		Workers:   *workers,
 		Backend:   repro.Backend(*backendName),
 	})
 	if err != nil {
-		log.Fatalf("%s: %v", *engineName, err)
+		return fmt.Errorf("%s: %w", *engineName, err)
 	}
+	defer p.Close()
 	prepElapsed := time.Since(prepStart)
 	if *explain {
-		fmt.Print(p.Explain())
+		switch pp := p.(type) {
+		case *repro.Prepared:
+			fmt.Print(pp.Explain())
+		case *client.Prepared:
+			text, err := pp.Explain(ctx)
+			if err != nil {
+				return fmt.Errorf("explain: %w", err)
+			}
+			fmt.Print(text)
+		}
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-	defer cancel()
 	start := time.Now()
 	var n int64
 	for i := 0; i < max(*repeat, 1); i++ {
 		n, err = p.Count(ctx)
 		if err != nil {
-			log.Fatalf("%s: %v", *engineName, err)
+			return fmt.Errorf("%s: %w", *engineName, err)
 		}
 	}
 	elapsed := time.Since(start)
@@ -170,121 +222,17 @@ func main() {
 		fmt.Printf("plan:  cacheHits=%d cacheMisses=%d gaoDerivations=%d indexBindings=%d\n",
 			st.PlanCacheHits, st.PlanCacheMisses, st.GAODerivations, st.IndexBindings)
 	}
+	return nil
 }
 
-// buildGraph constructs the benchmark graph from the catalog or a generator.
-func buildGraph(datasetName, model string, nodes, edges int, seed int64) *repro.Graph {
-	if datasetName != "" {
-		g, err := repro.Dataset(datasetName)
-		if err != nil {
-			log.Fatal(err)
+// rejectQueryFlag refuses -query in the general-schema mode, where only
+// -datalog can name relations.
+func rejectQueryFlag() error {
+	var bad error
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "query" {
+			bad = fmt.Errorf("-query names benchmark-schema patterns and conflicts with -relation; use -datalog")
 		}
-		return g
-	}
-	m := repro.BarabasiAlbert
-	switch model {
-	case "er":
-		m = repro.ErdosRenyi
-	case "hk":
-		m = repro.HolmeKim
-	case "ba":
-	default:
-		log.Fatalf("unknown model %q", model)
-	}
-	return repro.GenerateGraph(m, nodes, edges, seed)
-}
-
-// buildStore defines the -relation schema and loads the -load files.
-func buildStore(relations, loads []string) *repro.Store {
-	s := repro.NewStore()
-	for _, spec := range relations {
-		name, arityStr, ok := strings.Cut(spec, ":")
-		if !ok {
-			log.Fatalf("-relation %q: want name:arity", spec)
-		}
-		arity, err := strconv.Atoi(arityStr)
-		if err != nil {
-			log.Fatalf("-relation %q: bad arity: %v", spec, err)
-		}
-		if err := s.DefineRelation(name, arity); err != nil {
-			log.Fatal(err)
-		}
-	}
-	for _, spec := range loads {
-		name, path, ok := strings.Cut(spec, "=")
-		if !ok {
-			log.Fatalf("-load %q: want name=path", spec)
-		}
-		tuples, err := readTuples(path)
-		if err != nil {
-			log.Fatalf("-load %s: %v", name, err)
-		}
-		if err := s.Load(name, tuples); err != nil {
-			log.Fatal(err)
-		}
-	}
-	return s
-}
-
-// readTuples reads integer rows, one tuple per line, columns separated by
-// whitespace or commas; blank lines and #-comments are skipped.
-func readTuples(path string) ([][]int64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var tuples [][]int64
-	sc := bufio.NewScanner(f)
-	// Machine-generated rows can exceed bufio's default 64KB token cap.
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
-	for line := 1; sc.Scan(); line++ {
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.FieldsFunc(text, func(r rune) bool {
-			return r == ',' || r == ' ' || r == '\t'
-		})
-		tuple := make([]int64, 0, len(fields))
-		for _, fld := range fields {
-			v, err := strconv.ParseInt(fld, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("%s:%d: %v", path, line, err)
-			}
-			tuple = append(tuple, v)
-		}
-		tuples = append(tuples, tuple)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return tuples, nil
-}
-
-func namedQuery(name string) (*repro.Query, error) {
-	switch name {
-	case "3-clique", "triangle":
-		return query.Clique(3), nil
-	case "4-clique":
-		return query.Clique(4), nil
-	case "4-cycle":
-		return query.Cycle(4), nil
-	case "3-path":
-		return query.Path(3), nil
-	case "4-path":
-		return query.Path(4), nil
-	case "1-tree":
-		return query.Tree(1), nil
-	case "2-tree":
-		return query.Tree(2), nil
-	case "2-comb":
-		return query.Comb(), nil
-	case "2-lollipop":
-		return query.Lollipop(2), nil
-	case "3-lollipop":
-		return query.Lollipop(3), nil
-	default:
-		return nil, fmt.Errorf("unknown query %q", name)
-	}
+	})
+	return bad
 }

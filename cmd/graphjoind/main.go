@@ -1,0 +1,277 @@
+// Command graphjoind serves repro stores to remote clients over the wire
+// protocol — the reproduction's query server. Clients (graphjoin -connect,
+// or repro/client programmatically) define schemas, load and update
+// relations, and run prepared graph-pattern queries; execution happens here,
+// against shared indexes.
+//
+// A single-tenant server with an empty default store:
+//
+//	graphjoind -listen :7474
+//
+// Preloading the default store with a general schema:
+//
+//	graphjoind -relation follows:2 -load follows=follows.tsv
+//
+// Preloading the default store with a benchmark graph (the schema graphjoin's
+// named queries expect):
+//
+//	graphjoind -dataset ca-GrQc -selectivity 10
+//	graphjoind -model ba -nodes 10000 -edges 50000 -seed 1
+//
+// Multi-tenant serving from a config file (-stores), one section per store:
+//
+//	# stores.conf
+//	[social]
+//	relation follows:2
+//	load follows=/data/follows.tsv
+//	[bench]
+//	generate ba 10000 50000 1
+//	selectivity 10 1
+//
+// The server drains on SIGINT/SIGTERM: in-flight queries finish (up to
+// -drain), new requests are refused, then connections close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/cli"
+	"repro/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "graphjoind: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var relations, loads cli.ListFlag
+	var (
+		listen      = flag.String("listen", ":7474", "address to serve on")
+		storesPath  = flag.String("stores", "", "multi-tenant store config file (see the command doc)")
+		datasetName = flag.String("dataset", "", "preload the default store with a catalog benchmark graph")
+		model       = flag.String("model", "", "preload the default store with a generated graph: er | ba | hk")
+		nodes       = flag.Int("nodes", 10000, "generated graph nodes (with -model)")
+		edges       = flag.Int("edges", 50000, "generated graph edges (with -model)")
+		seed        = flag.Int64("seed", 1, "generator seed (with -model)")
+		selectivity = flag.Int("selectivity", 10, "node-sample selectivity for a preloaded graph")
+		drain       = flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
+	)
+	flag.Var(&relations, "relation", "define a default-store relation as name:arity (repeatable)")
+	flag.Var(&loads, "load", "load a default-store relation from a file of integer rows, as name=path (repeatable)")
+	flag.Parse()
+
+	stores := make(map[string]*repro.Store)
+	if *storesPath != "" {
+		if err := loadStoresConfig(*storesPath, stores); err != nil {
+			return err
+		}
+	}
+	// The flag-configured default store; a [default] section in -stores and
+	// the flags are mutually exclusive so neither silently wins.
+	if *datasetName != "" || *model != "" || len(relations) > 0 || len(loads) > 0 {
+		if _, ok := stores[server.DefaultStore]; ok {
+			return fmt.Errorf("the default store is configured both by flags and by %s", *storesPath)
+		}
+		st, err := buildFlagStore(*datasetName, *model, *nodes, *edges, *seed, *selectivity, relations, loads)
+		if err != nil {
+			return err
+		}
+		stores[server.DefaultStore] = st
+	}
+	if _, ok := stores[server.DefaultStore]; !ok {
+		stores[server.DefaultStore] = repro.NewStore()
+	}
+
+	srv := server.New(server.Config{Stores: stores, Logf: func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "graphjoind: "+format+"\n", args...)
+	}})
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	names := srv.Stores()
+	sort.Strings(names)
+	fmt.Printf("graphjoind: serving stores [%s] on %s\n", strings.Join(names, " "), l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	select {
+	case err := <-serveDone:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("graphjoind: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "graphjoind: drain cut short: %v\n", err)
+	}
+	if err := <-serveDone; !errors.Is(err, server.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("graphjoind: bye")
+	return nil
+}
+
+// buildFlagStore constructs the default store from the command-line flags:
+// either a benchmark graph (dataset or generator model) or a -relation/-load
+// schema, but not both — the graph schema is canned and loading over it
+// would break its invariants.
+func buildFlagStore(datasetName, model string, nodes, edges int, seed int64, selectivity int, relations, loads []string) (*repro.Store, error) {
+	graphMode := datasetName != "" || model != ""
+	if graphMode && (len(relations) > 0 || len(loads) > 0) {
+		return nil, fmt.Errorf("-relation/-load conflict with a benchmark-graph preload (-dataset/-model)")
+	}
+	if graphMode {
+		g, err := cli.BuildGraph(datasetName, model, nodes, edges, seed)
+		if err != nil {
+			return nil, err
+		}
+		g.SetSelectivity(selectivity, seed)
+		return g.Store(), nil
+	}
+	st := repro.NewStore()
+	if err := cli.SetupSchema(repro.Local(st), relations, loads); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// loadStoresConfig parses the -stores file: "[name]" opens a store section;
+// within one, "relation name:arity", "load name=path", "dataset NAME",
+// "generate MODEL NODES EDGES SEED", and "selectivity S SEED" configure it.
+// Blank lines and #-comments are skipped.
+func loadStoresConfig(path string, stores map[string]*repro.Store) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	type section struct {
+		name                  string
+		relations, loads      []string
+		dataset, model        string
+		nodes, edges          int
+		seed                  int64
+		selectivity, selSeed  int
+		hasGraph, hasSelector bool
+	}
+	var sections []*section
+	var cur *section
+	for lineNo, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		where := fmt.Sprintf("%s:%d", path, lineNo+1)
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return fmt.Errorf("%s: malformed section header %q", where, line)
+			}
+			name := strings.TrimSpace(line[1 : len(line)-1])
+			if name == "" {
+				return fmt.Errorf("%s: empty store name", where)
+			}
+			cur = &section{name: name}
+			sections = append(sections, cur)
+			continue
+		}
+		if cur == nil {
+			return fmt.Errorf("%s: directive before the first [store] section", where)
+		}
+		directive, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch directive {
+		case "relation":
+			cur.relations = append(cur.relations, rest)
+		case "load":
+			cur.loads = append(cur.loads, rest)
+		case "dataset":
+			if cur.hasGraph {
+				return fmt.Errorf("%s: store %q already has a graph preload", where, cur.name)
+			}
+			cur.dataset, cur.hasGraph = rest, true
+		case "generate":
+			if cur.hasGraph {
+				return fmt.Errorf("%s: store %q already has a graph preload", where, cur.name)
+			}
+			f := strings.Fields(rest)
+			if len(f) != 4 {
+				return fmt.Errorf("%s: generate wants MODEL NODES EDGES SEED", where)
+			}
+			var errs [3]error
+			cur.model = f[0]
+			cur.nodes, errs[0] = strconv.Atoi(f[1])
+			cur.edges, errs[1] = strconv.Atoi(f[2])
+			cur.seed, errs[2] = parseInt64(f[3])
+			for _, e := range errs {
+				if e != nil {
+					return fmt.Errorf("%s: generate: %v", where, e)
+				}
+			}
+			cur.hasGraph = true
+		case "selectivity":
+			f := strings.Fields(rest)
+			if len(f) != 2 {
+				return fmt.Errorf("%s: selectivity wants S SEED", where)
+			}
+			var e1, e2 error
+			cur.selectivity, e1 = strconv.Atoi(f[0])
+			cur.selSeed, e2 = strconv.Atoi(f[1])
+			if e1 != nil || e2 != nil {
+				return fmt.Errorf("%s: selectivity: bad number", where)
+			}
+			cur.hasSelector = true
+		default:
+			return fmt.Errorf("%s: unknown directive %q", where, directive)
+		}
+	}
+	for _, sec := range sections {
+		if _, ok := stores[sec.name]; ok {
+			return fmt.Errorf("%s: store %q defined twice", path, sec.name)
+		}
+		if sec.hasGraph && (len(sec.relations) > 0 || len(sec.loads) > 0) {
+			return fmt.Errorf("%s: store %q mixes a graph preload with relation/load", path, sec.name)
+		}
+		if sec.hasSelector && !sec.hasGraph {
+			return fmt.Errorf("%s: store %q: selectivity applies to a graph preload (dataset/generate)", path, sec.name)
+		}
+		if sec.hasGraph {
+			g, err := cli.BuildGraph(sec.dataset, sec.model, sec.nodes, sec.edges, sec.seed)
+			if err != nil {
+				return fmt.Errorf("%s: store %q: %w", path, sec.name, err)
+			}
+			if sec.hasSelector {
+				g.SetSelectivity(sec.selectivity, int64(sec.selSeed))
+			}
+			stores[sec.name] = g.Store()
+			continue
+		}
+		st := repro.NewStore()
+		if err := cli.SetupSchema(repro.Local(st), sec.relations, sec.loads); err != nil {
+			return fmt.Errorf("%s: store %q: %w", path, sec.name, err)
+		}
+		stores[sec.name] = st
+	}
+	return nil
+}
+
+func parseInt64(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }

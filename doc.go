@@ -59,7 +59,22 @@
 // streams that must agree with each other run inside one transaction.
 // Store.Batch executes many prepared queries concurrently against one
 // shared snapshot under a worker budget (the serving regime: prepare once,
-// batch the point lookups).
+// batch the point lookups). Store.ApplyAll applies update batches to
+// several relations as one atomic write — no snapshot ever observes the
+// relations torn.
+//
+// # Local and remote deployment
+//
+// The Querier interface is the deployment seam: it covers the Store
+// surface (schema operations, ParseQuery, Prepare, ReadTxn, Batch) with
+// implementation-neutral handle types (PreparedQuery, QueryTxn), and has
+// two constructors — repro.Local(store) for in-process use, and
+// client.Dial (package repro/client) for a connection to a graphjoind
+// server (package repro/server; cmd/graphjoind). Queries then execute
+// server-side against shared indexes, with streaming flow-controlled Rows,
+// remote snapshot transactions, and typed errors that survive the wire for
+// errors.Is. Remote execution is differential-tested to produce
+// byte-identical results to local execution.
 //
 // # Storage and index backends
 //

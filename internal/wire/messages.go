@@ -1,0 +1,276 @@
+package wire
+
+import (
+	"context"
+	"errors"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Error is a failure transported over the wire: the server encodes the
+// request's error as a stable code plus its message, and the client rebuilds
+// an error that still satisfies errors.Is against the public typed errors —
+// so error-handling code behaves identically against a local Store and a
+// remote one.
+type Error struct {
+	Code string
+	Msg  string
+}
+
+// Error implements error with the server-rendered message.
+func (e *Error) Error() string { return e.Msg }
+
+// Unwrap resolves the code to its typed sentinel, so errors.Is sees through
+// the network boundary.
+func (e *Error) Unwrap() error { return sentinel(e.Code) }
+
+// Stable error codes. The repro-level codes map 1:1 onto the public typed
+// errors; the protocol-level codes have sentinels of their own below.
+const (
+	CodeUnknownRelation  = "unknown-relation"
+	CodeArityMismatch    = "arity-mismatch"
+	CodeRelationExists   = "relation-exists"
+	CodeValueOutOfRange  = "value-out-of-range"
+	CodeUnknownAlgorithm = "unknown-algorithm"
+	CodeUnknownBackend   = "unknown-backend"
+	CodeUnboundHeadVar   = "unbound-head-var"
+	CodeUnboundVar       = "unbound-var"
+	CodeTxnUnplanned     = "txn-unplanned"
+	CodeForeignPrepared  = "foreign-prepared"
+	CodeCancelled        = "cancelled"
+	CodeDeadline         = "deadline-exceeded"
+	CodeShuttingDown     = "shutting-down"
+	CodeUnknownHandle    = "unknown-handle"
+	CodeUnknownTxn       = "unknown-txn"
+	CodeUnknownStore     = "unknown-store"
+	CodeVersion          = "version-mismatch"
+	CodeProtocol         = "protocol"
+	CodeInternal         = "internal"
+)
+
+// Protocol-level sentinels (the repro-level ones are the public typed
+// errors). The client package re-exports these.
+var (
+	// ErrShuttingDown reports a request received while the server drains.
+	ErrShuttingDown = errors.New("server shutting down")
+	// ErrUnknownHandle reports a prepared-statement handle the connection
+	// does not hold (closed, or from another connection).
+	ErrUnknownHandle = errors.New("unknown prepared-statement handle")
+	// ErrUnknownTxn reports a transaction id the connection does not hold.
+	ErrUnknownTxn = errors.New("unknown transaction")
+	// ErrUnknownStore reports a Hello naming a store the server does not
+	// host.
+	ErrUnknownStore = errors.New("unknown store")
+	// ErrVersion reports a protocol-version mismatch in the Hello exchange.
+	ErrVersion = errors.New("protocol version mismatch")
+	// ErrProtocol reports a malformed or out-of-order frame.
+	ErrProtocol = errors.New("protocol error")
+)
+
+// codeTable pairs every code with its sentinel; ErrorCode scans it with
+// errors.Is and sentinel() indexes it by code.
+var codeTable = []struct {
+	code string
+	err  error
+}{
+	{CodeUnknownRelation, repro.ErrUnknownRelation},
+	{CodeArityMismatch, repro.ErrArityMismatch},
+	{CodeRelationExists, repro.ErrRelationExists},
+	{CodeValueOutOfRange, repro.ErrValueOutOfRange},
+	{CodeUnknownAlgorithm, repro.ErrUnknownAlgorithm},
+	{CodeUnknownBackend, repro.ErrUnknownBackend},
+	{CodeUnboundHeadVar, repro.ErrUnboundHeadVar},
+	{CodeUnboundVar, repro.ErrUnboundVar},
+	{CodeTxnUnplanned, repro.ErrTxnUnplanned},
+	{CodeForeignPrepared, repro.ErrForeignPrepared},
+	{CodeCancelled, context.Canceled},
+	{CodeDeadline, context.DeadlineExceeded},
+	{CodeShuttingDown, ErrShuttingDown},
+	{CodeUnknownHandle, ErrUnknownHandle},
+	{CodeUnknownTxn, ErrUnknownTxn},
+	{CodeUnknownStore, ErrUnknownStore},
+	{CodeVersion, ErrVersion},
+	{CodeProtocol, ErrProtocol},
+}
+
+// ErrorCode maps an error to its stable wire code (CodeInternal when no
+// typed sentinel matches).
+func ErrorCode(err error) string {
+	for _, e := range codeTable {
+		if errors.Is(err, e.err) {
+			return e.code
+		}
+	}
+	return CodeInternal
+}
+
+func sentinel(code string) error {
+	for _, e := range codeTable {
+		if e.code == code {
+			return e.err
+		}
+	}
+	return nil
+}
+
+// EncodeErr renders an error as a TErr payload.
+func EncodeErr(err error) []byte {
+	var e Enc
+	e.Str(ErrorCode(err))
+	e.Str(err.Error())
+	return e.Bytes()
+}
+
+// DecodeErr rebuilds the error from a TErr payload.
+func DecodeErr(body []byte) error {
+	d := NewDec(body)
+	code, msg := d.Str(), d.Str()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	return &Error{Code: code, Msg: msg}
+}
+
+// Atom is one query atom on the wire.
+type Atom struct {
+	Rel  string
+	Vars []string
+}
+
+// Query is a join query on the wire: the name, the output variable order
+// (the head), and the body atoms. It reconstructs losslessly — including the
+// head-fixed output order — via ToQuery.
+type Query struct {
+	Name  string
+	Head  []string
+	Atoms []Atom
+}
+
+// FromQuery converts the in-memory representation for transport.
+func FromQuery(q *query.Query) Query {
+	wq := Query{Name: q.Name, Head: q.Vars()}
+	wq.Atoms = make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		wq.Atoms[i] = Atom{Rel: a.Rel, Vars: a.Vars}
+	}
+	return wq
+}
+
+// ToQuery rebuilds the in-memory query, re-validating structure and head
+// coverage (a hostile peer can send anything).
+func (wq Query) ToQuery() (*query.Query, error) {
+	atoms := make([]query.Atom, len(wq.Atoms))
+	for i, a := range wq.Atoms {
+		atoms[i] = query.Atom{Rel: a.Rel, Vars: a.Vars}
+	}
+	q, err := query.NewHeaded(wq.Name, wq.Head, atoms...)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Encode appends the query to a payload.
+func (wq Query) Encode(e *Enc) {
+	e.Str(wq.Name)
+	e.StrList(wq.Head)
+	e.Int(len(wq.Atoms))
+	for _, a := range wq.Atoms {
+		e.Str(a.Rel)
+		e.StrList(a.Vars)
+	}
+}
+
+// DecodeQuery consumes a query from a payload.
+func DecodeQuery(d *Dec) Query {
+	var wq Query
+	wq.Name = d.Str()
+	wq.Head = d.StrList()
+	n := d.Count()
+	if d.Err() != nil {
+		return Query{}
+	}
+	wq.Atoms = make([]Atom, n)
+	for i := range wq.Atoms {
+		wq.Atoms[i] = Atom{Rel: d.Str(), Vars: d.StrList()}
+	}
+	return wq
+}
+
+// Option flag bits (the ablation toggles of repro.Options).
+const (
+	flagDisableProbeMemo = 1 << iota
+	flagDisableComplete
+	flagDisableSkeleton
+	flagDisableCountReuse
+)
+
+// EncodeOptions appends engine options to a payload.
+func EncodeOptions(e *Enc, o repro.Options) {
+	e.Str(string(o.Algorithm))
+	e.Int(o.Workers)
+	e.Int(o.Granularity)
+	e.StrList(o.GAO)
+	e.Str(string(o.Backend))
+	var flags uint64
+	if o.DisableProbeMemo {
+		flags |= flagDisableProbeMemo
+	}
+	if o.DisableComplete {
+		flags |= flagDisableComplete
+	}
+	if o.DisableSkeleton {
+		flags |= flagDisableSkeleton
+	}
+	if o.DisableCountReuse {
+		flags |= flagDisableCountReuse
+	}
+	e.U64(flags)
+	e.Int(o.MaxRows)
+}
+
+// DecodeOptions consumes engine options from a payload.
+func DecodeOptions(d *Dec) repro.Options {
+	var o repro.Options
+	o.Algorithm = repro.Algorithm(d.Str())
+	o.Workers = d.Int()
+	o.Granularity = d.Int()
+	o.GAO = d.StrList()
+	o.Backend = repro.Backend(d.Str())
+	flags := d.U64()
+	o.DisableProbeMemo = flags&flagDisableProbeMemo != 0
+	o.DisableComplete = flags&flagDisableComplete != 0
+	o.DisableSkeleton = flags&flagDisableSkeleton != 0
+	o.DisableCountReuse = flags&flagDisableCountReuse != 0
+	o.MaxRows = d.Int()
+	return o
+}
+
+// EncodeStats appends the unified counter snapshot to a payload.
+func EncodeStats(e *Enc, s core.Stats) {
+	for _, v := range [...]int64{
+		s.PlanCacheHits, s.PlanCacheMisses, s.GAODerivations, s.IndexBindings,
+		s.Executions, s.Outputs, s.Seeks, s.Probes, s.ProbeMemoHits,
+		s.Constraints, s.FreeTupleSteps, s.ReuseHits, s.MemoStores,
+	} {
+		e.I64(v)
+	}
+}
+
+// DecodeStats consumes a counter snapshot from a payload.
+func DecodeStats(d *Dec) core.Stats {
+	var s core.Stats
+	for _, p := range [...]*int64{
+		&s.PlanCacheHits, &s.PlanCacheMisses, &s.GAODerivations, &s.IndexBindings,
+		&s.Executions, &s.Outputs, &s.Seeks, &s.Probes, &s.ProbeMemoHits,
+		&s.Constraints, &s.FreeTupleSteps, &s.ReuseHits, &s.MemoStores,
+	} {
+		*p = d.I64()
+	}
+	return s
+}

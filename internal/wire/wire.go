@@ -1,0 +1,344 @@
+// Package wire is the frame protocol graphjoind speaks: a compact
+// length-prefixed binary framing with varint-encoded payloads, shared by the
+// server (repro/server) and the client (repro/client). It is the first
+// process boundary in the reproduction — the seam along which stores shard
+// across hosts.
+//
+// Every frame is
+//
+//	uint32  length (big-endian) of everything that follows — the type
+//	        byte, the request id, and the body; excludes the 4 length
+//	        bytes themselves
+//	uint8   frame type (the T* constants)
+//	uvarint request id
+//	body    the type-specific fields
+//
+// The request id multiplexes concurrent requests over one connection: the
+// client assigns ids, the server tags every response frame — including each
+// chunk of a Rows stream — with the id of the request it answers. Control
+// frames (TCredit, TCancel) reference the id of the stream or request they
+// steer.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is negotiated in the Hello exchange; the server rejects
+// clients whose major version it does not speak.
+const ProtocolVersion = 1
+
+// MaxFrame bounds a frame's payload (64 MiB). Oversized frames indicate a
+// corrupt or malicious peer; both ends drop the connection.
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge reports a frame whose declared payload exceeds MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrTruncated reports a payload that ended before its fields did.
+var ErrTruncated = errors.New("wire: truncated payload")
+
+// Frame types. Requests flow client to server; each is answered by the
+// response type noted (or TErr). TRowChunk/TRowsEnd stream; TCredit and
+// TCancel are one-way control frames.
+const (
+	// Client → server requests.
+	THello         byte = 0x01 // Hello → THelloOK
+	TDefine        byte = 0x02 // Define → TOK
+	TLoad          byte = 0x03 // Load → TOK
+	TApply         byte = 0x04 // Apply → TOK
+	TApplyAll      byte = 0x05 // ApplyAll → TOK
+	TParse         byte = 0x06 // Parse → TParseOK
+	TPrepare       byte = 0x07 // Prepare → TPrepareOK
+	TClosePrepared byte = 0x08 // ClosePrepared → TOK
+	TCount         byte = 0x09 // Count → TCountOK
+	TRows          byte = 0x0a // Rows → TRowChunk* then TRowsEnd
+	TBegin         byte = 0x0b // Begin → TBeginOK
+	TEnd           byte = 0x0c // End → TOK
+	TBatch         byte = 0x0d // Batch → TBatchOK
+	TStats         byte = 0x0e // Stats → TStatsOK
+	TExplain       byte = 0x0f // Explain → TExplainOK
+	TRelations     byte = 0x10 // Relations → TRelationsOK
+
+	// One-way control frames (client → server).
+	TCredit byte = 0x18 // grant Rows flow-control credit to a stream
+	TCancel byte = 0x19 // cancel an in-flight request or stream
+
+	// Server → client responses.
+	TOK          byte = 0x20
+	TErr         byte = 0x21
+	THelloOK     byte = 0x22
+	TParseOK     byte = 0x23
+	TPrepareOK   byte = 0x24
+	TCountOK     byte = 0x25
+	TRowChunk    byte = 0x26
+	TRowsEnd     byte = 0x27
+	TBeginOK     byte = 0x28
+	TBatchOK     byte = 0x29
+	TStatsOK     byte = 0x2a
+	TExplainOK   byte = 0x2b
+	TRelationsOK byte = 0x2c
+)
+
+// WriteFrame writes one frame. The caller serializes concurrent writers.
+func WriteFrame(w io.Writer, typ byte, reqID uint64, body []byte) error {
+	var hdr [5 + binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[5:], reqID)
+	payload := 1 + n + len(body)
+	if payload > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(hdr[:4], uint32(payload))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:5+n]); err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting payloads over MaxFrame.
+func ReadFrame(r io.Reader) (typ byte, reqID uint64, body []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 || n > MaxFrame {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	typ = hdr[4]
+	payload := make([]byte, n-1)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	id, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return 0, 0, nil, ErrTruncated
+	}
+	return typ, id, payload[k:], nil
+}
+
+// Enc appends varint-encoded fields to a payload buffer. The zero value is
+// ready to use.
+type Enc struct{ b []byte }
+
+// Bytes returns the encoded payload.
+func (e *Enc) Bytes() []byte { return e.b }
+
+// U64 appends an unsigned varint.
+func (e *Enc) U64(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+
+// Int appends an int as an unsigned varint. Every protocol int field is a
+// count or size where negative means "unset", so negatives clamp to 0
+// rather than varint-wrapping into a huge value the peer would reject.
+func (e *Enc) Int(v int) {
+	if v < 0 {
+		v = 0
+	}
+	e.U64(uint64(v))
+}
+
+// I64 appends a signed varint (zig-zag); tuple values carry user input that
+// may be negative, which the server rejects with its own typed error.
+func (e *Enc) I64(v int64) { e.b = binary.AppendVarint(e.b, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// StrList appends a count-prefixed list of strings.
+func (e *Enc) StrList(ss []string) {
+	e.U64(uint64(len(ss)))
+	for _, s := range ss {
+		e.Str(s)
+	}
+}
+
+// Tuple appends a width-prefixed tuple of signed values.
+func (e *Enc) Tuple(t []int64) {
+	e.U64(uint64(len(t)))
+	for _, v := range t {
+		e.I64(v)
+	}
+}
+
+// Tuples appends a count-prefixed list of tuples.
+func (e *Enc) Tuples(ts [][]int64) {
+	e.U64(uint64(len(ts)))
+	for _, t := range ts {
+		e.Tuple(t)
+	}
+}
+
+// Dec consumes varint-encoded fields from a payload. Decoding errors are
+// sticky: after the first failure every accessor returns a zero value and
+// Err reports the failure, so message decoders read all fields and check
+// once.
+type Dec struct {
+	b   []byte
+	err error
+}
+
+// NewDec returns a decoder over the payload.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Err returns the first decoding failure, if any.
+func (d *Dec) Err() error { return d.err }
+
+func (d *Dec) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+// U64 consumes an unsigned varint.
+func (d *Dec) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// Int consumes an unsigned varint as an int, failing on overflow.
+func (d *Dec) Int() int {
+	v := d.U64()
+	if d.err == nil && v > uint64(int(^uint(0)>>1)) {
+		d.err = fmt.Errorf("wire: integer field %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// I64 consumes a signed varint.
+func (d *Dec) I64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// Bool consumes one byte as a boolean.
+func (d *Dec) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) == 0 {
+		d.fail()
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v != 0
+}
+
+// Str consumes a length-prefixed string. The length is validated against the
+// remaining payload before allocating.
+func (d *Dec) Str() string {
+	n := d.U64()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// Count validates a collection count against the bytes that remain: each
+// element needs at least one byte, so any count beyond len(d.b) is corrupt
+// and must not size an allocation.
+func (d *Dec) Count() int {
+	n := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return 0
+	}
+	return int(n)
+}
+
+// StrList consumes a count-prefixed list of strings.
+func (d *Dec) StrList() []string {
+	n := d.Count()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.Str()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Tuple consumes a width-prefixed tuple.
+func (d *Dec) Tuple() []int64 {
+	n := d.Count()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.I64()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Tuples consumes a count-prefixed list of tuples.
+func (d *Dec) Tuples() [][]int64 {
+	n := d.Count()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([][]int64, n)
+	for i := range out {
+		out[i] = d.Tuple()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}

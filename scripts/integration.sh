@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Client/server integration smoke (the CI `integration` job, runnable
+# locally as `make integration`): build graphjoind and graphjoin, boot the
+# server on a loopback port, run scripted remote queries, and compare the
+# counts against an identical in-process run. Fails on any non-zero exit or
+# count mismatch, and checks the dial-failure and graceful-shutdown paths.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bin="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin/graphjoind" ./cmd/graphjoind
+go build -o "$bin/graphjoin" ./cmd/graphjoin
+
+graph_flags=(-model ba -nodes 2000 -edges 9000 -seed 7 -selectivity 10)
+
+# Boot on an ephemeral port and scrape the bound address from the banner.
+"$bin/graphjoind" -listen 127.0.0.1:0 "${graph_flags[@]}" > "$bin/server.log" 2>&1 &
+server_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$bin/server.log")"
+  [ -n "$addr" ] && break
+  kill -0 "$server_pid" 2>/dev/null || { cat "$bin/server.log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "integration: server never became ready" >&2; cat "$bin/server.log" >&2; exit 1; }
+
+# "engine: N results in ..." -> N
+extract() { sed -n 's/^[a-z]*: \([0-9][0-9]*\) results.*/\1/p'; }
+
+want="$("$bin/graphjoin" "${graph_flags[@]}" -query 3-clique -engine lftj | extract)"
+[ -n "$want" ] || { echo "integration: local run produced no count" >&2; exit 1; }
+
+for engine in lftj ms; do
+  got="$("$bin/graphjoin" -connect "$addr" -query 3-clique -engine "$engine" | extract)"
+  if [ "$got" != "$want" ]; then
+    echo "integration: $engine remote count $got != local $want" >&2
+    exit 1
+  fi
+  echo "integration: $engine remote count $got matches local"
+done
+
+# The same pattern as inline Datalog against the remote schema.
+got="$("$bin/graphjoin" -connect "$addr" -datalog 'fwd(a,b), fwd(a,c), fwd(b,c)' | extract)"
+if [ "$got" != "$want" ]; then
+  echo "integration: datalog remote count $got != local $want" >&2
+  exit 1
+fi
+
+# A failed dial must exit non-zero with a one-line error (no panic).
+if "$bin/graphjoin" -connect 127.0.0.1:1 -query 3-clique > "$bin/dial.log" 2>&1; then
+  echo "integration: dial to a dead port did not fail" >&2
+  exit 1
+fi
+if [ "$(wc -l < "$bin/dial.log")" -ne 1 ]; then
+  echo "integration: dial failure was not a one-line error:" >&2
+  cat "$bin/dial.log" >&2
+  exit 1
+fi
+
+# Graceful shutdown on SIGTERM.
+kill -TERM "$server_pid"
+for _ in $(seq 1 50); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  echo "integration: server ignored SIGTERM" >&2
+  exit 1
+fi
+wait "$server_pid" || { echo "integration: server exited non-zero" >&2; exit 1; }
+server_pid=""
+grep -q "bye" "$bin/server.log" || { echo "integration: no clean shutdown banner" >&2; exit 1; }
+
+echo "integration: OK"

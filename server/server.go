@@ -1,0 +1,263 @@
+// Package server hosts repro Stores behind the wire protocol
+// (repro/internal/wire), turning the in-process library into a query service:
+// clients ship schema definitions, update batches, and prepared graph-pattern
+// queries over a connection and the server answers from its shared indexes —
+// the deployment shape the paper assumes of LogicBlox, and the seam along
+// which stores shard across processes and hosts.
+//
+// A Server is multi-tenant: it hosts one or more named Stores and each
+// connection binds to one of them in its Hello exchange. Per connection the
+// server keeps a prepared-statement table and a read-transaction table;
+// requests on one connection run concurrently (each in its own goroutine,
+// cancellable by a client Cancel frame), and a request failure answers only
+// that request — the connection, and every other in-flight request on it,
+// continues, mirroring the Store.Batch error-isolation contract.
+//
+// Shutdown drains: new requests are refused while every in-flight query runs
+// to completion (or the drain context expires), then connections close.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro"
+)
+
+// DefaultStore is the store name a client that does not pick one binds to;
+// single-tenant deployments (NewSingle) register their store under it.
+const DefaultStore = "default"
+
+// ErrServerClosed is returned by Serve and ListenAndServe after Shutdown or
+// Close, mirroring net/http's contract.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config configures a Server.
+type Config struct {
+	// Stores is the registry of named stores served to clients. Keys are the
+	// names clients select in their Hello exchange.
+	Stores map[string]*repro.Store
+	// Logf, when set, receives connection-level diagnostics (accept and
+	// protocol errors). Request-level errors are not logged — they are
+	// answered to the client.
+	Logf func(format string, args ...any)
+}
+
+// Server serves Store queries to remote clients. Create one with New or
+// NewSingle, then call Serve (or ListenAndServe) on as many listeners as
+// needed.
+type Server struct {
+	stores map[string]*repro.Store
+	logf   func(string, ...any)
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	closed    bool
+
+	// inflight counts requests being handled across all connections;
+	// Shutdown waits on it to drain.
+	inflight sync.WaitGroup
+}
+
+// New returns a server hosting the configured stores. The store map is
+// copied; stores themselves are shared with the caller, so an embedding
+// process can keep writing to a store (e.g. a live data feed) while the
+// server serves it — Store is safe for concurrent use.
+func New(cfg Config) *Server {
+	s := &Server{
+		stores:    make(map[string]*repro.Store, len(cfg.Stores)),
+		logf:      cfg.Logf,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*conn]struct{}),
+	}
+	for name, st := range cfg.Stores {
+		if st != nil {
+			s.stores[name] = st
+		}
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	return s
+}
+
+// NewSingle returns a single-tenant server hosting one store under
+// DefaultStore.
+func NewSingle(st *repro.Store) *Server {
+	return New(Config{Stores: map[string]*repro.Store{DefaultStore: st}})
+}
+
+// Stores returns the names of the hosted stores (unordered).
+func (s *Server) Stores() []string {
+	names := make([]string, 0, len(s.stores))
+	for n := range s.stores {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Serve accepts connections on l until the listener fails or the server is
+// shut down; it always returns a non-nil error, ErrServerClosed after
+// Shutdown/Close.
+func (s *Server) Serve(l net.Listener) error {
+	if !s.addListener(l) {
+		l.Close()
+		return ErrServerClosed
+	}
+	defer s.removeListener(l)
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		c := newConn(s, nc)
+		if !s.addConn(c) {
+			nc.Close()
+			return ErrServerClosed
+		}
+		go c.serve()
+	}
+}
+
+// ListenAndServe listens on the TCP address and serves until failure or
+// shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops the server: listeners close immediately, new
+// requests are refused with a shutting-down error, and every in-flight
+// request — including open Rows streams — runs to completion before the
+// connections close. If ctx expires first, the remaining work is cut off by
+// force-closing the connections (which cancels the per-request contexts) and
+// ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.beginClose() {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.closeConns()
+	return err
+}
+
+// Close stops the server immediately: listeners and connections close and
+// in-flight requests are cancelled.
+func (s *Server) Close() error {
+	if !s.beginClose() {
+		return nil
+	}
+	s.closeConns()
+	return nil
+}
+
+// beginClose transitions to the closed state once: listeners stop accepting
+// and startRequest refuses new work. It reports whether this call performed
+// the transition.
+func (s *Server) beginClose() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	return true
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) addListener(l net.Listener) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.listeners[l] = struct{}{}
+	return true
+}
+
+func (s *Server) removeListener(l net.Listener) {
+	s.mu.Lock()
+	delete(s.listeners, l)
+	s.mu.Unlock()
+}
+
+func (s *Server) addConn(c *conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// startRequest admits one request into the in-flight set; it refuses once
+// the server is draining or closed. Every successful call is balanced by
+// s.inflight.Done() in the request goroutine.
+func (s *Server) startRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// lookupStore resolves a Hello's store selection (empty means DefaultStore).
+func (s *Server) lookupStore(name string) (*repro.Store, string, error) {
+	if name == "" {
+		name = DefaultStore
+	}
+	st, ok := s.stores[name]
+	if !ok {
+		return nil, name, fmt.Errorf("server: %q: %w", name, errUnknownStore)
+	}
+	return st, name, nil
+}
