@@ -241,7 +241,7 @@ func (g *Graph) ApplyEdges(insert, remove [][2]int64) error {
 	// them and desync the wrapper from the stored relations.
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	err := g.s.db.ApplyDeltas([]core.DeltaBatch{
+	err := g.s.applyDeltas([]core.DeltaBatch{
 		{Name: query.Edge, Inserts: incremental.Orient(insert, false), Deletes: incremental.Orient(remove, false)},
 		{Name: query.Fwd, Inserts: incremental.Orient(insert, true), Deletes: incremental.Orient(remove, true)},
 	})
@@ -255,11 +255,11 @@ func (g *Graph) ApplyEdges(insert, remove [][2]int64) error {
 // The wrapper accounting (g.g.Edges, g.g.N, edgeIdx) is maintained in time
 // proportional to the batch: the oriented-edge index is built once (on the
 // first write) and updated incrementally after that. The vertex count only
-// grows — removing an edge does not retire its endpoints. Two orderings
-// exist because the two write paths resolve an edge appearing on both sides
-// of one batch differently: ApplyDeltas/filterDelta is delete-after-insert
-// (the edge never lands), while the view's UpdateRelation deletes first and
-// then inserts (the edge ends present). All these helpers run under g.mu.
+// grows — removing an edge does not retire its endpoints. Both edge write
+// paths (Graph.ApplyEdges and CountView.ApplyEdges) land through
+// core.CanonicalDelta semantics — delete-after-insert, an edge on both
+// sides of one batch never lands — so one mirroring helper
+// (applyDerivedLocked) serves them both. All these helpers run under g.mu.
 
 func (g *Graph) ensureEdgeIdxLocked() {
 	if g.edgeIdx != nil {
@@ -327,7 +327,7 @@ func (g *Graph) removeEdgeLocked(oe [2]int64) {
 	delete(g.edgeIdx, oe)
 }
 
-// applyDerivedLocked mirrors ApplyDeltas/filterDelta semantics
+// applyDerivedLocked mirrors ApplyDeltas/CanonicalDelta semantics
 // (delete-after-insert: an edge on both sides never lands and must not grow
 // the accounting or the vertex count).
 func (g *Graph) applyDerivedLocked(insert, remove [][2]int64) {
@@ -348,44 +348,6 @@ func (g *Graph) applyDerivedLocked(insert, remove [][2]int64) {
 			g.removeEdgeLocked(oe)
 		}
 	}
-}
-
-// applyDerivedDeleteFirstLocked mirrors the incremental view's
-// UpdateRelation semantics (deletions applied first, then insertions: an
-// edge on both sides ends present).
-func (g *Graph) applyDerivedDeleteFirstLocked(insert, remove [][2]int64) {
-	g.ensureEdgeIdxLocked()
-	for _, e := range remove {
-		if oe, ok := orientEdge(e); ok {
-			g.removeEdgeLocked(oe)
-		}
-	}
-	for _, e := range insert {
-		if oe, ok := orientEdge(e); ok {
-			g.insertEdgeLocked(oe)
-		}
-	}
-}
-
-// resyncLocked rebuilds the accounting from the stored oriented edge
-// relation (fwd is exactly the u<v edge list) — the recovery path when a
-// staged view update fails midway and the incremental bookkeeping can no
-// longer be trusted.
-func (g *Graph) resyncLocked() {
-	fwd, err := g.s.db.Relation(query.Fwd)
-	if err != nil {
-		return
-	}
-	edges := make([][2]int64, fwd.Len())
-	n := int64(g.g.N)
-	for i := range edges {
-		u, v := fwd.Value(i, 0), fwd.Value(i, 1)
-		edges[i] = [2]int64{u, v}
-		if v+1 > n {
-			n = v + 1
-		}
-	}
-	g.g.Edges, g.g.N, g.edgeIdx = edges, int(n), nil
 }
 
 // Prepare compiles the query against this graph for the configured engine;
@@ -522,11 +484,15 @@ type CountView struct {
 }
 
 // MaintainCount materializes Count(q) over the graph and keeps it current.
+// On a durable store the view's maintenance batches route through the
+// store's write-ahead log: each ApplyEdges is one logged record, fsynced
+// like any other write.
 func MaintainCount(ctx context.Context, g *Graph, q *Query) (*CountView, error) {
 	v, err := incremental.NewGraphView(ctx, q, g.s.db)
 	if err != nil {
 		return nil, err
 	}
+	v.SetApply(g.s.applyDeltas)
 	return &CountView{inner: v, g: g}, nil
 }
 
@@ -539,12 +505,14 @@ func (v *CountView) Count() int64 { return v.inner.Count() }
 func (v *CountView) Stats() ExecStats { return v.inner.Stats() }
 
 // ApplyEdges inserts and removes undirected edges, updating the graph's
-// relations and the maintained count with delta queries. The delta-query
-// algorithm applies each relation's deletions and insertions in stages with
-// correction queries evaluated between them, so unlike Graph.ApplyEdges the
-// update is not one atomic step: a concurrent ReadTxn/Batch snapshot taken
-// mid-update can observe an intermediate state where "edge" and "fwd"
-// disagree. Open snapshots before or after a maintenance batch, not during.
+// relations and the maintained count with delta queries. The correction is
+// computed entirely against the pre-update state, then "edge" and "fwd"
+// land together through one atomic apply — exactly like Graph.ApplyEdges, a
+// concurrent ReadTxn/Batch snapshot observes either the whole batch or none
+// of it, an error during correction leaves the store untouched, and on a
+// durable store the maintenance batch is one write-ahead log record. The
+// update semantics match every other write path: an edge on both sides of
+// one batch resolves as delete-after-insert.
 func (v *CountView) ApplyEdges(ctx context.Context, insert, remove [][2]int64) error {
 	if err := checkEdgeDomain(insert, remove); err != nil {
 		return err
@@ -552,12 +520,9 @@ func (v *CountView) ApplyEdges(ctx context.Context, insert, remove [][2]int64) e
 	v.g.mu.Lock()
 	defer v.g.mu.Unlock()
 	if err := v.inner.ApplyEdges(ctx, insert, remove); err != nil {
-		// The staged update may have landed partially; rebuild the
-		// accounting from the stored relations instead of guessing.
-		v.g.resyncLocked()
 		return err
 	}
-	v.g.applyDerivedDeleteFirstLocked(insert, remove)
+	v.g.applyDerivedLocked(insert, remove)
 	return nil
 }
 

@@ -59,8 +59,11 @@ func TestTypedErrorsAcrossWire(t *testing.T) {
 	}
 	c := dial(t, serve(t, st))
 
-	if err := c.DefineRelation("e", 2); !errors.Is(err, repro.ErrRelationExists) {
-		t.Errorf("redefine: %v, want ErrRelationExists", err)
+	if err := c.DefineRelation("e", 3); !errors.Is(err, repro.ErrRelationExists) {
+		t.Errorf("conflicting redefine: %v, want ErrRelationExists", err)
+	}
+	if err := c.DefineRelation("e", 2); err != nil {
+		t.Errorf("same-arity redefine: %v, want no-op nil", err)
 	}
 	if err := c.DefineRelation("bad name", 2); err == nil {
 		t.Error("bad identifier accepted")

@@ -52,7 +52,7 @@ func (s *Store) ApplyAll(batches map[string][]Delta) error {
 		}
 		checked = append(checked, b)
 	}
-	return s.db.ApplyDeltas(checked)
+	return s.applyDeltas(checked)
 }
 
 // deltaBatch schema-checks one relation's deltas and splits them into the

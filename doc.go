@@ -76,6 +76,28 @@
 // errors.Is. Remote execution is differential-tested to produce
 // byte-identical results to local execution.
 //
+// # Durability
+//
+// NewStore is in-memory; OpenStore roots a store in a directory and makes
+// acknowledged writes crash-safe. Every mutation is appended to a
+// write-ahead log and fsynced per DurabilityOptions.Sync before it
+// returns — "group" (the default) shares fsyncs among concurrent writers
+// through a group-commit leader, "always" syncs each commit, and "none"
+// trades durability of the most recent writes for in-memory-like write
+// latency (recovery is still never corrupted). Store.Checkpoint snapshots
+// the relations and prunes the log; Store.Close ends persistence. On open,
+// recovery loads the newest valid snapshot and replays the log tail
+// through the same delta path live writes take, reporting what it found
+// (and any dropped torn tail from an unclean shutdown) via RecoveryInfo.
+//
+// Deployment notes: give each store its own directory on a local
+// filesystem (graphjoind -data-dir does this per tenant, with a
+// -checkpoint-every background ticker and a final checkpoint on drain, so
+// clean restarts replay nothing); checkpoint roughly as often as the
+// replay time you can afford at startup; and treat RecoveryInfo.TailErr
+// as an operational signal — the store is consistent, but the previous
+// process died uncleanly.
+//
 // # Storage and index backends
 //
 // Relations are immutable, lexicographically sorted tuple sets over int64

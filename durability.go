@@ -1,0 +1,194 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/relation"
+)
+
+// ErrCorruptLog reports unrecoverable damage to a store's durable state
+// (internal/durable's typed error re-exported): a corrupt record in the
+// middle of the log, an LSN gap, or a directory whose snapshots are all
+// invalid. A merely torn log tail is NOT this error at the OpenStore level —
+// it is tolerated, reported via RecoveryInfo.TailErr, and dropped.
+var ErrCorruptLog = durable.ErrCorruptLog
+
+// DurabilityOptions configures a store opened with OpenStore.
+type DurabilityOptions struct {
+	// Sync is the commit fsync policy: "group" (the default — every write
+	// is fsynced before it is acknowledged, and concurrent writers share
+	// fsyncs through a group-commit leader), "always" (group without the
+	// accumulation window), or "none" (leave fsync to the kernel and to
+	// checkpoints; a crash may lose recent acknowledged writes but never
+	// corrupts recovery).
+	Sync string
+	// GroupWindow is how long a group-commit leader waits for more writers
+	// to join its fsync; zero syncs immediately. Larger windows trade
+	// per-write latency for fewer fsyncs under concurrency.
+	GroupWindow time.Duration
+}
+
+// RecoveryInfo summarizes what OpenStore reconstructed from disk.
+type RecoveryInfo struct {
+	// SnapshotLSN is the checkpoint the store warm-started from (0 = none).
+	SnapshotLSN uint64
+	// Relations is the number of relations restored from the snapshot.
+	Relations int
+	// Replayed is the number of log records replayed on top of it.
+	Replayed int
+	// LastLSN is the durable log position recovery reached; new writes are
+	// assigned LSNs from LastLSN+1.
+	LastLSN uint64
+	// TailErr, if non-nil, wraps ErrCorruptLog and describes the torn or
+	// corrupt log tail found past LastLSN. Those bytes were never
+	// acknowledged as durable; they have been truncated away and the store
+	// is fully usable. Operators should still surface it (the integration
+	// banner does) since it marks an unclean shutdown.
+	TailErr error
+}
+
+// OpenStore opens (or initializes) a durable store rooted at dir. Recovery
+// runs first: the newest valid snapshot is loaded, then the log tail is
+// replayed through the same delta path live writes take, so cached CSR
+// indexes warm up through the ordinary overlay fold-in. After OpenStore
+// returns, every mutation — DefineRelation, Load, Apply, ApplyAll, and the
+// Graph wrappers routing through them — is appended to the write-ahead log
+// and fsynced per opts.Sync before the call returns, so an acknowledged
+// write survives a crash. Call Checkpoint periodically to bound log growth
+// and recovery time, and Close on shutdown.
+func OpenStore(dir string, opts DurabilityOptions) (*Store, *RecoveryInfo, error) {
+	policy, err := durable.ParsePolicy(opts.Sync)
+	if err != nil {
+		return nil, nil, err
+	}
+	mgr, rec, err := durable.Open(dir, durable.Options{Sync: policy, GroupWindow: opts.GroupWindow})
+	if err != nil {
+		return nil, nil, err
+	}
+	db := core.NewDB()
+	for _, sr := range rec.Relations {
+		db.Add(relation.FromTuples(sr.Name, sr.Arity, sr.Tuples))
+	}
+	if err := replay(db, rec.Records); err != nil {
+		mgr.Close()
+		return nil, nil, err
+	}
+	info := &RecoveryInfo{
+		SnapshotLSN: rec.SnapshotLSN,
+		Relations:   len(rec.Relations),
+		Replayed:    len(rec.Records),
+		LastLSN:     rec.LastLSN,
+		TailErr:     rec.TailErr,
+	}
+	return &Store{db: db, dur: mgr}, info, nil
+}
+
+// replay folds recovered log records into the database through the same
+// paths the live writes took. A record that no longer applies is corruption
+// by definition — the live process validated it before logging it.
+func replay(db *core.DB, records []durable.Record) error {
+	for _, r := range records {
+		var err error
+		switch r.Op {
+		case durable.OpDefine:
+			if cur, lookErr := db.Relation(r.Name); lookErr == nil {
+				if cur.Arity() != r.Arity {
+					err = fmt.Errorf("define %q arity %d over existing arity %d", r.Name, r.Arity, cur.Arity())
+				}
+				// Same arity: the no-op redefine, same as live.
+			} else {
+				db.Add(relation.NewBuilder(r.Name, r.Arity).Build())
+			}
+		case durable.OpLoad:
+			var arity int
+			if cur, lookErr := db.Relation(r.Name); lookErr == nil {
+				arity = cur.Arity()
+			} else {
+				err = fmt.Errorf("load into undefined relation %q", r.Name)
+				break
+			}
+			db.Add(relation.FromTuples(r.Name, arity, r.Tuples))
+		case durable.OpDeltas:
+			err = db.ApplyDeltas(r.Batches)
+		default:
+			err = fmt.Errorf("unknown op %d", r.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: replaying record %d: %v", ErrCorruptLog, r.LSN, err)
+		}
+	}
+	return nil
+}
+
+// applyDeltas is the single funnel every incremental write takes —
+// Store.Apply, Store.ApplyAll, Graph.ApplyEdges, and the maintained views'
+// batches all land here as one atomic multi-relation delta. On a durable
+// store the record is appended and the in-memory apply performed under one
+// lock (so log order equals apply order), then the caller blocks until the
+// record is fsynced per the store's policy; on an in-memory store it is a
+// plain atomic apply. Batches must be fully validated before calling — a
+// logged record must never fail to apply, here or during recovery replay.
+func (s *Store) applyDeltas(batches []core.DeltaBatch) error {
+	if s.dur == nil {
+		return s.db.ApplyDeltas(batches)
+	}
+	s.mu.Lock()
+	lsn, err := s.dur.AppendDeltas(batches)
+	if err == nil {
+		err = s.db.ApplyDeltas(batches)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.dur.Commit(lsn)
+}
+
+// Checkpoint snapshots every relation's base rows at the current log
+// position and prunes the log and older snapshots the new snapshot
+// supersedes. Recovery after a checkpoint replays only records written
+// since, so periodic checkpoints bound both log growth and restart time.
+// The capture is consistent (one database lock acquisition paired with the
+// current LSN under the store's write lock); serialization and file I/O
+// happen outside the write path, concurrent with new writes. On an
+// in-memory store Checkpoint is a no-op.
+func (s *Store) Checkpoint() error {
+	if s.dur == nil {
+		return nil
+	}
+	// LastLSN and the relation capture must agree: hold the write lock so
+	// no append lands between reading one and the other.
+	s.mu.Lock()
+	lsn := s.dur.LastLSN()
+	rels := s.db.Snapshot()
+	s.mu.Unlock()
+	return s.dur.Checkpoint(lsn, rels)
+}
+
+// LastLSN returns the store's current log position (0 on an in-memory
+// store): the LSN of the last write appended to the log.
+func (s *Store) LastLSN() uint64 {
+	if s.dur == nil {
+		return 0
+	}
+	return s.dur.LastLSN()
+}
+
+// Close fsyncs and closes the durable log; further writes fail. Queries keep
+// working — the in-memory state is intact — but the store no longer persists
+// anything. Close on an in-memory store is a no-op. Close does not
+// checkpoint; call Checkpoint first for a replay-free next start.
+func (s *Store) Close() error {
+	if s.dur == nil {
+		return nil
+	}
+	err := s.dur.Close()
+	if err != nil && errors.Is(err, durable.ErrClosed) {
+		return nil
+	}
+	return err
+}

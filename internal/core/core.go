@@ -175,7 +175,7 @@ func (db *DB) applyDeltaLocked(name string, inserts, deletes [][]int64) error {
 	if !ok {
 		return fmt.Errorf("core: %w: %q", ErrUnknownRelation, name)
 	}
-	ins, dels := filterDelta(r, inserts, deletes)
+	ins, dels := CanonicalDelta(r, inserts, deletes)
 	if len(ins) == 0 && len(dels) == 0 {
 		return nil
 	}
@@ -208,13 +208,15 @@ func (db *DB) applyDeltaLocked(name string, inserts, deletes [][]int64) error {
 	return nil
 }
 
-// filterDelta reduces a raw update batch to the canonical delta against r:
+// CanonicalDelta reduces a raw update batch to the canonical delta against r:
 // deletes restricted to present tuples, inserts to absent ones, both
 // deduplicated. A tuple appearing on both sides resolves as
 // delete-after-insert: a no-op for absent tuples, a delete for present
 // ones. The result satisfies the overlay invariants (ins ∩ r = ∅,
-// dels ⊆ r, ins ∩ dels = ∅).
-func filterDelta(r *relation.Relation, inserts, deletes [][]int64) (ins, dels [][]int64) {
+// dels ⊆ r, ins ∩ dels = ∅). Exported because the incremental views
+// canonicalize their batches the same way before deriving correction terms,
+// so view maintenance and the raw ApplyDelta path agree on batch semantics.
+func CanonicalDelta(r *relation.Relation, inserts, deletes [][]int64) (ins, dels [][]int64) {
 	seenDel := make(map[string]bool)
 	for _, t := range deletes {
 		if len(t) != r.Arity() {
@@ -264,6 +266,20 @@ func permuteTuples(tuples [][]int64, perm []int) [][]int64 {
 			pt[k] = t[p]
 		}
 		out[i] = pt
+	}
+	return out
+}
+
+// Snapshot returns the current relation set under one lock acquisition.
+// Relations are immutable, so the returned pointers form a consistent
+// point-in-time view of the database — the capture the durability layer's
+// checkpointer pairs with the WAL position it holds while calling.
+func (db *DB) Snapshot() []*relation.Relation {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]*relation.Relation, 0, len(db.rels))
+	for _, r := range db.rels {
+		out = append(out, r)
 	}
 	return out
 }

@@ -3,22 +3,33 @@
 // of optimal joins partly through incrementally maintained materialized
 // views ("LogicBlox encourages the use of materialized views that are
 // incrementally maintained", §3, citing Veldhuizen's incremental LFTJ
-// [14]); this package implements the classical delta-query approach: a
-// join is multilinear in each atom occurrence, so for a relation update
-// R → R ∪ Δ (Δ disjoint from R),
+// [14]); this package implements the classical delta-query approach via
+// multilinearity. An update batch takes each relation R → F = (R ∖ D) ∪ I,
+// with D the deletes actually present and I the inserts actually absent
+// (core.CanonicalDelta's normal form), so pointwise
 //
-//	Q(R ∪ Δ) = Σ_{S ⊆ occ(R)} Q[atoms in S ↦ Δ, others ↦ R],
+//	χ_F = χ_R − χ_D + χ_I,
 //
-// and the count correction is the sum over non-empty S — each term a small
-// join evaluated with the worst-case-optimal engine, with the Δ-bound atoms
-// keeping every term tiny for selective updates.
+// and since a join count is multilinear in every atom occurrence jointly,
 //
-// Views run on the CSR backend by default: base relations are updated
-// through core.DB.ApplyDelta, which folds each batch into the cached CSR
-// indexes' delta overlays (relation.Overlay) in time proportional to the
-// small log rather than an index rebuild, so the compiled
-// delta plans — and the physical indexes they bind — survive arbitrarily
-// many batches. Only the tiny Δ relation's atoms are re-bound per batch.
+//	Q(F, ...) = Σ_a (−1)^{#D-choices in a} · Q[a],
+//
+// summed over all assignments a of each occurrence to base/D/I — every term
+// evaluated against the PRE-update database with D and I registered as tiny
+// scratch relations. The correction (the sum over non-all-base assignments,
+// each term a small join with Δ-bound atoms keeping it tiny) is therefore
+// computed entirely before anything is applied, and the whole batch — every
+// relation's inserts and deletes together — then lands through ONE atomic
+// core.DB.ApplyDeltas call: no reader can observe a mid-batch state, no
+// error path leaves the database partially updated, and a durable store
+// logs the maintenance batch as a single write-ahead record.
+//
+// Views run on the CSR backend by default: the atomic apply folds each
+// batch into the cached CSR indexes' delta overlays (relation.Overlay) in
+// time proportional to the small log rather than an index rebuild, so the
+// compiled delta plans — and the physical indexes they bind — survive
+// arbitrarily many batches. Only the tiny Δ relations' atoms are re-bound
+// per batch.
 package incremental
 
 import (
@@ -32,9 +43,26 @@ import (
 	"repro/internal/relation"
 )
 
-// deltaSuffix names the temporary delta relations registered in the
-// database during a correction pass.
-const deltaSuffix = "@delta"
+// insSuffix and delSuffix name the scratch delta relations registered in
+// the database during a correction pass: rel+"@ins" holds the batch's
+// effective insertions into rel, rel+"@del" its effective deletions. The
+// "@" keeps them outside the identifier space the public Store accepts, so
+// they can never collide with a user relation.
+const (
+	insSuffix = "@ins"
+	delSuffix = "@del"
+)
+
+// isScratch reports whether an atom references a per-batch scratch delta
+// relation (those atoms are re-bound on every batch; base atoms are not).
+func isScratch(rel string) bool {
+	return strings.HasSuffix(rel, insSuffix) || strings.HasSuffix(rel, delSuffix)
+}
+
+// termBudget bounds the number of correction terms one update batch may
+// expand into (3^m − 1 assignments for m varying occurrences, before
+// empty-side pruning).
+const termBudget = 1 << 20
 
 // View is a maintained count of a query over a database. The delta queries
 // it evaluates per update batch are planned once: the GAO and the per-mask
@@ -51,16 +79,28 @@ type View struct {
 	gaoPos  map[string]int
 	// occ[rel] lists the atom indices referencing rel.
 	occ map[string][]int
-	// terms[rel] holds the prepared delta-term queries, one per non-empty
-	// occurrence subset, built once per relation.
-	terms map[string][]*query.Query
+	// terms caches correction-term queries by assignment signature (one
+	// byte per atom: base/del/ins), so a recurring batch shape reuses the
+	// same *query.Query — and through it the same cached plan.
+	terms map[string]*query.Query
 	// plans caches compiled plans per term query (CSR backend only); valid
 	// while dbVersion matches the database's mutation counter as tracked
 	// through the view's own updates.
 	plans     map[*query.Query]*core.Plan
 	dbVersion int64
 	sc        *core.StatsCollector
+	// apply lands one atomic multi-relation batch; defaults to the
+	// database's ApplyDeltas. A durable store overrides it (SetApply) so
+	// each maintenance batch is logged as a single write-ahead record.
+	apply func([]core.DeltaBatch) error
 }
+
+// SetApply overrides how the view lands its (already canonicalized) update
+// batches — one atomic multi-relation apply per maintenance batch. The
+// default is core.DB.ApplyDeltas on the view's database; a durable store
+// routes it through its write-ahead log instead. The function must apply to
+// the same database the view reads, atomically.
+func (v *View) SetApply(fn func([]core.DeltaBatch) error) { v.apply = fn }
 
 // NewView computes the initial count and returns the maintained view on the
 // default backend.
@@ -91,10 +131,11 @@ func NewViewBackend(ctx context.Context, q *query.Query, db *core.DB, backend co
 		gao:     gao,
 		gaoPos:  pos,
 		occ:     make(map[string][]int),
-		terms:   make(map[string][]*query.Query),
+		terms:   make(map[string]*query.Query),
 		plans:   make(map[*query.Query]*core.Plan),
 		sc:      &core.StatsCollector{},
 	}
+	v.apply = db.ApplyDeltas
 	v.sc.Add(core.Stats{GAODerivations: 1})
 	v.dbVersion = db.Version()
 	n, err := v.run(ctx, q)
@@ -121,9 +162,10 @@ func (v *View) run(ctx context.Context, q *query.Query) (int64, error) {
 }
 
 // planFor returns a plan for q. Under the CSR backend the base compilation
-// is cached across batches (ApplyDelta keeps its bound indexes current in
-// place) and only atoms over @delta relations are re-bound; other backends
-// recompile per run, because ApplyDelta invalidates their physical indexes.
+// is cached across batches (the atomic delta apply keeps its bound indexes
+// current in place) and only atoms over @ins/@del scratch relations are
+// re-bound; other backends recompile per run, because the apply invalidates
+// their physical indexes.
 func (v *View) planFor(q *query.Query) (*core.Plan, error) {
 	if v.backend != core.BackendCSR {
 		return core.NewPlan(q, v.db, "lftj", v.gao, nil, false, v.backend, v.sc)
@@ -145,20 +187,20 @@ func (v *View) planFor(q *query.Query) (*core.Plan, error) {
 	}
 	deltas := 0
 	for _, a := range q.Atoms {
-		if strings.HasSuffix(a.Rel, deltaSuffix) {
+		if isScratch(a.Rel) {
 			deltas++
 		}
 	}
 	if deltas == 0 {
 		return base, nil
 	}
-	// The delta relation is re-registered every batch, so its atoms are
-	// re-bound on a copy of the cached plan; base-relation bindings carry
-	// over untouched.
+	// The scratch delta relations are re-registered every batch, so their
+	// atoms are re-bound on a copy of the cached plan; base-relation
+	// bindings carry over untouched.
 	cp := *base
 	cp.Atoms = append([]core.AtomIndex(nil), base.Atoms...)
 	for i, a := range q.Atoms {
-		if !strings.HasSuffix(a.Rel, deltaSuffix) {
+		if !isScratch(a.Rel) {
 			continue
 		}
 		ai, err := core.BindAtom(a, v.db, v.gaoPos, v.backend)
@@ -194,126 +236,173 @@ func (v *View) Recount(ctx context.Context) (int64, error) {
 }
 
 // UpdateRelation applies inserts and deletes to one relation and corrects
-// the view. Tuples to insert that are already present, and tuples to delete
-// that are absent, are ignored.
+// the view: Update for a single-relation batch. Tuples to insert that are
+// already present, and tuples to delete that are absent, are ignored; a
+// tuple on both sides resolves as delete-after-insert, matching every other
+// write path.
 func (v *View) UpdateRelation(ctx context.Context, rel string, inserts, deletes [][]int64) error {
-	occ := v.occ[rel]
-	r, err := v.db.Relation(rel)
+	return v.Update(ctx, []core.DeltaBatch{{Name: rel, Inserts: inserts, Deletes: deletes}})
+}
+
+// occChoice is one varying atom occurrence in a correction pass: the atom
+// index and the scratch relation names its base relation's effective
+// deletes and inserts were registered under ("" when that side is empty, in
+// which case the occurrence never takes that choice).
+type occChoice struct {
+	atom     int
+	del, ins string
+}
+
+// Update applies one multi-relation batch (each relation at most once) and
+// corrects the maintained count. The correction is computed entirely
+// against the pre-update database by signed multilinear expansion (see the
+// package comment), then the whole batch lands through one atomic apply —
+// a concurrent snapshot observes either the full batch or none of it, and
+// any error during correction leaves the database untouched. Semantics per
+// relation match core.DB.ApplyDeltas exactly: inserts already present and
+// deletes absent are ignored; a tuple on both sides resolves as
+// delete-after-insert.
+func (v *View) Update(ctx context.Context, batches []core.DeltaBatch) error {
+	// Canonicalize every batch against the pre-state: D ⊆ R present
+	// deletes, I absent (and not deleted) inserts — the normal form both
+	// the χ identity and the eventual apply agree on.
+	seen := make(map[string]bool, len(batches))
+	var choices []occChoice
+	canon := make([]core.DeltaBatch, 0, len(batches))
+	for _, b := range batches {
+		if seen[b.Name] {
+			return fmt.Errorf("incremental: relation %q appears twice in one update batch", b.Name)
+		}
+		seen[b.Name] = true
+		r, err := v.db.Relation(b.Name)
+		if err != nil {
+			return err
+		}
+		ins, dels := core.CanonicalDelta(r, b.Inserts, b.Deletes)
+		if len(ins) == 0 && len(dels) == 0 {
+			continue
+		}
+		canon = append(canon, core.DeltaBatch{Name: b.Name, Inserts: ins, Deletes: dels})
+		if len(v.occ[b.Name]) == 0 {
+			continue // the view does not read this relation; apply only
+		}
+		// Register the non-empty sides as scratch relations for the
+		// correction terms to bind.
+		var c occChoice
+		if len(dels) > 0 {
+			c.del = b.Name + delSuffix
+			v.db.Add(tuplesToRelation(c.del, r.Arity(), dels))
+		}
+		if len(ins) > 0 {
+			c.ins = b.Name + insSuffix
+			v.db.Add(tuplesToRelation(c.ins, r.Arity(), ins))
+		}
+		for _, ai := range v.occ[b.Name] {
+			c.atom = ai
+			choices = append(choices, c)
+		}
+	}
+	v.sync()
+	correction, err := v.correction(ctx, choices)
 	if err != nil {
 		return err
 	}
-	if len(occ) == 0 {
-		// The view does not depend on this relation; just apply, deletions
-		// first so an insert of a just-deleted tuple lands.
-		if err := v.db.ApplyDelta(rel, nil, deletes); err != nil {
-			v.sync()
-			return err
-		}
-		err := v.db.ApplyDelta(rel, inserts, nil)
-		v.sync()
-		return err
-	}
-	// Deletions first: with R' = R \ D registered, the correction terms are
-	// evaluated over (R', D).
-	dels := filterPresent(r, deletes, true)
-	if len(dels) > 0 {
-		if err := v.db.ApplyDelta(rel, nil, dels); err != nil {
-			return err
-		}
-		v.sync()
-		correction, err := v.deltaTerms(ctx, rel, tuplesToRelation(rel+deltaSuffix, r.Arity(), dels))
-		if err != nil {
-			// Restore the original relation before surfacing the error.
-			restoreErr := v.db.ApplyDelta(rel, dels, nil)
-			v.sync()
-			if restoreErr != nil {
-				return fmt.Errorf("%w (restore failed: %v)", err, restoreErr)
-			}
-			return err
-		}
-		v.count -= correction
-		if r, err = v.db.Relation(rel); err != nil {
-			return err
-		}
-	}
-	// Insertions: correction terms are evaluated over the pre-insert R.
-	ins := filterPresent(r, inserts, false)
-	if len(ins) > 0 {
-		correction, err := v.deltaTerms(ctx, rel, tuplesToRelation(rel+deltaSuffix, r.Arity(), ins))
-		if err != nil {
-			return err
-		}
-		v.count += correction
-		if err := v.db.ApplyDelta(rel, ins, nil); err != nil {
+	if len(canon) > 0 {
+		if err := v.apply(canon); err != nil {
 			return err
 		}
 		v.sync()
 	}
+	v.count += correction
 	return nil
 }
 
-// deltaTerms sums Q[S ↦ Δ, rest ↦ current] over non-empty S ⊆ occ(rel),
-// executing each term's prepared query. Term construction and planning
-// happen once per relation; per batch only the delta indexes are re-bound.
-func (v *View) deltaTerms(ctx context.Context, rel string, delta *relation.Relation) (int64, error) {
-	v.db.Add(delta)
-	v.sync()
-	terms, err := v.termQueries(rel)
-	if err != nil {
-		return 0, err
+// correction sums sign(a)·Q[a] over every non-all-base assignment a of the
+// varying occurrences, each occurrence choosing base, its @del scratch
+// (sign −), or its @ins scratch (sign +) — all evaluated against the
+// pre-update database. Term queries are cached by assignment signature, so
+// a recurring batch shape reuses its compiled plans.
+func (v *View) correction(ctx context.Context, choices []occChoice) (int64, error) {
+	if len(choices) == 0 {
+		return 0, nil
 	}
+	nTerms := 1
+	for _, c := range choices {
+		k := 1
+		if c.del != "" {
+			k++
+		}
+		if c.ins != "" {
+			k++
+		}
+		if nTerms *= k; nTerms > termBudget {
+			return 0, fmt.Errorf("incremental: update expands into more than %d correction terms", termBudget)
+		}
+	}
+	sig := make([]byte, len(v.q.Atoms))
+	// state[i] ∈ {0 base, 1 del, 2 ins} per varying occurrence; odometer
+	// enumeration over the mixed-radix space, skipping the all-base start.
+	state := make([]int, len(choices))
 	var total int64
-	for _, term := range terms {
-		n, err := v.run(ctx, term)
+	for {
+		i := 0
+		for ; i < len(state); i++ {
+			state[i]++
+			if state[i] == 1 && choices[i].del == "" {
+				state[i]++
+			}
+			if state[i] == 2 && choices[i].ins == "" {
+				state[i]++
+			}
+			if state[i] <= 2 {
+				break
+			}
+			state[i] = 0
+		}
+		if i == len(state) {
+			return total, nil // odometer wrapped: all assignments done
+		}
+		for j := range sig {
+			sig[j] = 'b'
+		}
+		sign := int64(1)
+		for j, c := range choices {
+			switch state[j] {
+			case 1:
+				sig[c.atom] = 'd'
+				sign = -sign
+			case 2:
+				sig[c.atom] = 'i'
+			}
+		}
+		n, err := v.run(ctx, v.termFor(string(sig), choices))
 		if err != nil {
 			return 0, err
 		}
-		total += n
+		total += sign * n
 	}
-	return total, nil
 }
 
-// termQueries returns the delta-term queries for one relation, building and
-// caching them on first use.
-func (v *View) termQueries(rel string) ([]*query.Query, error) {
-	if terms, ok := v.terms[rel]; ok {
-		return terms, nil
+// termFor returns the correction-term query for one assignment signature,
+// building and caching it on first use. Cached terms keep stable pointers,
+// which is what keeps the per-term compiled plans cached across batches.
+func (v *View) termFor(sig string, choices []occChoice) *query.Query {
+	if t, ok := v.terms[sig]; ok {
+		return t
 	}
-	occ := v.occ[rel]
-	if len(occ) > 20 {
-		return nil, fmt.Errorf("incremental: %d occurrences of %s exceeds the subset budget", len(occ), rel)
-	}
-	terms := make([]*query.Query, 0, 1<<uint(len(occ))-1)
-	for mask := 1; mask < 1<<uint(len(occ)); mask++ {
-		atoms := make([]query.Atom, len(v.q.Atoms))
-		copy(atoms, v.q.Atoms)
-		for bit, ai := range occ {
-			if mask&(1<<uint(bit)) != 0 {
-				atoms[ai] = query.Atom{Rel: rel + deltaSuffix, Vars: atoms[ai].Vars}
-			}
+	atoms := make([]query.Atom, len(v.q.Atoms))
+	copy(atoms, v.q.Atoms)
+	for _, c := range choices {
+		switch sig[c.atom] {
+		case 'd':
+			atoms[c.atom] = query.Atom{Rel: c.del, Vars: atoms[c.atom].Vars}
+		case 'i':
+			atoms[c.atom] = query.Atom{Rel: c.ins, Vars: atoms[c.atom].Vars}
 		}
-		terms = append(terms, query.New(v.q.Name+"/delta", atoms...))
 	}
-	v.terms[rel] = terms
-	return terms, nil
-}
-
-// filterPresent returns the tuples whose presence in r equals want.
-func filterPresent(r *relation.Relation, tuples [][]int64, want bool) [][]int64 {
-	var out [][]int64
-	seen := make(map[string]bool)
-	for _, t := range tuples {
-		if r.Contains(t) != want {
-			continue
-		}
-		k := relation.TupleKey(t)
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, t)
-	}
-	return out
+	t := query.New(v.q.Name+"/delta", atoms...)
+	v.terms[sig] = t
+	return t
 }
 
 func tuplesToRelation(name string, arity int, tuples [][]int64) *relation.Relation {
@@ -347,14 +436,15 @@ func NewGraphViewBackend(ctx context.Context, q *query.Query, db *core.DB, backe
 }
 
 // ApplyEdges inserts and removes undirected edges, updating both derived
-// relations and the count.
+// relations and the count as ONE atomic batch: the correction for "edge"
+// and "fwd" is computed jointly against the pre-update state, then both
+// relations land through a single ApplyDeltas — a concurrent snapshot can
+// never observe one updated and not the other.
 func (g *GraphView) ApplyEdges(ctx context.Context, insert, remove [][2]int64) error {
-	symIns, symDel := Orient(insert, false), Orient(remove, false)
-	fwdIns, fwdDel := Orient(insert, true), Orient(remove, true)
-	if err := g.UpdateRelation(ctx, query.Edge, symIns, symDel); err != nil {
-		return err
-	}
-	return g.UpdateRelation(ctx, query.Fwd, fwdIns, fwdDel)
+	return g.Update(ctx, []core.DeltaBatch{
+		{Name: query.Edge, Inserts: Orient(insert, false), Deletes: Orient(remove, false)},
+		{Name: query.Fwd, Inserts: Orient(insert, true), Deletes: Orient(remove, true)},
+	})
 }
 
 // Orient turns undirected edges into benchmark-schema tuples: both

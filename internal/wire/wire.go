@@ -23,8 +23,9 @@ package wire
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
+
+	"repro/internal/codec"
 )
 
 // ProtocolVersion is negotiated in the Hello exchange; the server rejects
@@ -39,7 +40,7 @@ const MaxFrame = 64 << 20
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
 // ErrTruncated reports a payload that ended before its fields did.
-var ErrTruncated = errors.New("wire: truncated payload")
+var ErrTruncated = codec.ErrTruncated
 
 // Frame types. Requests flow client to server; each is answered by the
 // response type noted (or TErr). TRowChunk/TRowsEnd stream; TCredit and
@@ -128,217 +129,17 @@ func ReadFrame(r io.Reader) (typ byte, reqID uint64, body []byte, err error) {
 	return typ, id, payload[k:], nil
 }
 
-// Enc appends varint-encoded fields to a payload buffer. The zero value is
-// ready to use.
-type Enc struct{ b []byte }
+// Enc appends varint-encoded fields to a payload buffer (internal/codec's
+// encoder, re-exported: the durability layer shares the same codecs for its
+// log and snapshot records without importing the protocol's error table).
+// The zero value is ready to use.
+type Enc = codec.Enc
 
-// Bytes returns the encoded payload.
-func (e *Enc) Bytes() []byte { return e.b }
-
-// U64 appends an unsigned varint.
-func (e *Enc) U64(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
-
-// Int appends an int as an unsigned varint. Every protocol int field is a
-// count or size where negative means "unset", so negatives clamp to 0
-// rather than varint-wrapping into a huge value the peer would reject.
-func (e *Enc) Int(v int) {
-	if v < 0 {
-		v = 0
-	}
-	e.U64(uint64(v))
-}
-
-// I64 appends a signed varint (zig-zag); tuple values carry user input that
-// may be negative, which the server rejects with its own typed error.
-func (e *Enc) I64(v int64) { e.b = binary.AppendVarint(e.b, v) }
-
-// Bool appends a boolean as one byte.
-func (e *Enc) Bool(v bool) {
-	if v {
-		e.b = append(e.b, 1)
-	} else {
-		e.b = append(e.b, 0)
-	}
-}
-
-// Str appends a length-prefixed string.
-func (e *Enc) Str(s string) {
-	e.U64(uint64(len(s)))
-	e.b = append(e.b, s...)
-}
-
-// StrList appends a count-prefixed list of strings.
-func (e *Enc) StrList(ss []string) {
-	e.U64(uint64(len(ss)))
-	for _, s := range ss {
-		e.Str(s)
-	}
-}
-
-// Tuple appends a width-prefixed tuple of signed values.
-func (e *Enc) Tuple(t []int64) {
-	e.U64(uint64(len(t)))
-	for _, v := range t {
-		e.I64(v)
-	}
-}
-
-// Tuples appends a count-prefixed list of tuples.
-func (e *Enc) Tuples(ts [][]int64) {
-	e.U64(uint64(len(ts)))
-	for _, t := range ts {
-		e.Tuple(t)
-	}
-}
-
-// Dec consumes varint-encoded fields from a payload. Decoding errors are
-// sticky: after the first failure every accessor returns a zero value and
-// Err reports the failure, so message decoders read all fields and check
-// once.
-type Dec struct {
-	b   []byte
-	err error
-}
+// Dec consumes varint-encoded fields from a payload (internal/codec's
+// decoder, re-exported). Decoding errors are sticky: after the first failure
+// every accessor returns a zero value and Err reports the failure, so
+// message decoders read all fields and check once.
+type Dec = codec.Dec
 
 // NewDec returns a decoder over the payload.
-func NewDec(b []byte) *Dec { return &Dec{b: b} }
-
-// Err returns the first decoding failure, if any.
-func (d *Dec) Err() error { return d.err }
-
-func (d *Dec) fail() {
-	if d.err == nil {
-		d.err = ErrTruncated
-	}
-}
-
-// U64 consumes an unsigned varint.
-func (d *Dec) U64() uint64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(d.b)
-	if n <= 0 {
-		d.fail()
-		return 0
-	}
-	d.b = d.b[n:]
-	return v
-}
-
-// Int consumes an unsigned varint as an int, failing on overflow.
-func (d *Dec) Int() int {
-	v := d.U64()
-	if d.err == nil && v > uint64(int(^uint(0)>>1)) {
-		d.err = fmt.Errorf("wire: integer field %d overflows int", v)
-		return 0
-	}
-	return int(v)
-}
-
-// I64 consumes a signed varint.
-func (d *Dec) I64() int64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(d.b)
-	if n <= 0 {
-		d.fail()
-		return 0
-	}
-	d.b = d.b[n:]
-	return v
-}
-
-// Bool consumes one byte as a boolean.
-func (d *Dec) Bool() bool {
-	if d.err != nil {
-		return false
-	}
-	if len(d.b) == 0 {
-		d.fail()
-		return false
-	}
-	v := d.b[0]
-	d.b = d.b[1:]
-	return v != 0
-}
-
-// Str consumes a length-prefixed string. The length is validated against the
-// remaining payload before allocating.
-func (d *Dec) Str() string {
-	n := d.U64()
-	if d.err != nil {
-		return ""
-	}
-	if n > uint64(len(d.b)) {
-		d.fail()
-		return ""
-	}
-	s := string(d.b[:n])
-	d.b = d.b[n:]
-	return s
-}
-
-// Count validates a collection count against the bytes that remain: each
-// element needs at least one byte, so any count beyond len(d.b) is corrupt
-// and must not size an allocation.
-func (d *Dec) Count() int {
-	n := d.U64()
-	if d.err != nil {
-		return 0
-	}
-	if n > uint64(len(d.b)) {
-		d.fail()
-		return 0
-	}
-	return int(n)
-}
-
-// StrList consumes a count-prefixed list of strings.
-func (d *Dec) StrList() []string {
-	n := d.Count()
-	if d.err != nil || n == 0 {
-		return nil
-	}
-	out := make([]string, n)
-	for i := range out {
-		out[i] = d.Str()
-	}
-	if d.err != nil {
-		return nil
-	}
-	return out
-}
-
-// Tuple consumes a width-prefixed tuple.
-func (d *Dec) Tuple() []int64 {
-	n := d.Count()
-	if d.err != nil {
-		return nil
-	}
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = d.I64()
-	}
-	if d.err != nil {
-		return nil
-	}
-	return out
-}
-
-// Tuples consumes a count-prefixed list of tuples.
-func (d *Dec) Tuples() [][]int64 {
-	n := d.Count()
-	if d.err != nil || n == 0 {
-		return nil
-	}
-	out := make([][]int64, n)
-	for i := range out {
-		out[i] = d.Tuple()
-	}
-	if d.err != nil {
-		return nil
-	}
-	return out
-}
+func NewDec(b []byte) *Dec { return codec.NewDec(b) }

@@ -20,17 +20,24 @@ go build -o "$bin/graphjoin" ./cmd/graphjoin
 
 graph_flags=(-model ba -nodes 2000 -edges 9000 -seed 7 -selectivity 10)
 
-# Boot on an ephemeral port and scrape the bound address from the banner.
-"$bin/graphjoind" -listen 127.0.0.1:0 "${graph_flags[@]}" > "$bin/server.log" 2>&1 &
-server_pid=$!
-addr=""
-for _ in $(seq 1 100); do
-  addr="$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$bin/server.log")"
-  [ -n "$addr" ] && break
-  kill -0 "$server_pid" 2>/dev/null || { cat "$bin/server.log" >&2; exit 1; }
-  sleep 0.1
-done
-[ -n "$addr" ] || { echo "integration: server never became ready" >&2; cat "$bin/server.log" >&2; exit 1; }
+# boot <logfile> [flags...]: start graphjoind on an ephemeral port and scrape
+# the bound address from the serving banner (recovery banners print first and
+# don't match the pattern). Sets $server_pid and $addr.
+boot() {
+  local log="$1"; shift
+  "$bin/graphjoind" -listen 127.0.0.1:0 "$@" > "$log" 2>&1 &
+  server_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$log")"
+    [ -n "$addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$log" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "integration: server never became ready" >&2; cat "$log" >&2; exit 1; }
+}
+
+boot "$bin/server.log" "${graph_flags[@]}"
 
 # "engine: N results in ..." -> N
 extract() { sed -n 's/^[a-z]*: \([0-9][0-9]*\) results.*/\1/p'; }
@@ -78,5 +85,47 @@ fi
 wait "$server_pid" || { echo "integration: server exited non-zero" >&2; exit 1; }
 server_pid=""
 grep -q "bye" "$bin/server.log" || { echo "integration: no clean shutdown banner" >&2; exit 1; }
+
+# Durability: churn writes over the wire, kill -9 the server, restart it on
+# the same -data-dir, and require every acknowledged count to survive.
+data_dir="$bin/data"
+boot "$bin/server-durable.log" "${graph_flags[@]}" -data-dir "$data_dir" -fsync always
+grep -q "fresh data dir" "$bin/server-durable.log" \
+  || { echo "integration: no fresh-data-dir banner" >&2; cat "$bin/server-durable.log" >&2; exit 1; }
+
+# Write a new relation through the client (define + load are remote writes),
+# alongside the seeded graph, and record both counts before the crash.
+seq 1 500 | awk '{print $1, $1 % 97}' > "$bin/extra.rows"
+extra_want="$("$bin/graphjoin" -connect "$addr" -relation extra:2 -load "extra=$bin/extra.rows" -datalog 'extra(a, b)' | extract)"
+tri_want="$("$bin/graphjoin" -connect "$addr" -query 3-clique -engine lftj | extract)"
+[ -n "$extra_want" ] && [ -n "$tri_want" ] || { echo "integration: pre-crash counts missing" >&2; exit 1; }
+
+# The compound redirect silences bash's asynchronous "Killed" job notice.
+{ kill -9 "$server_pid" && wait "$server_pid"; } 2>/dev/null || true
+server_pid=""
+
+boot "$bin/server-recovered.log" "${graph_flags[@]}" -data-dir "$data_dir" -fsync always
+grep -q "recovered" "$bin/server-recovered.log" \
+  || { echo "integration: no recovery banner after restart" >&2; cat "$bin/server-recovered.log" >&2; exit 1; }
+
+tri_got="$("$bin/graphjoin" -connect "$addr" -query 3-clique -engine lftj | extract)"
+extra_got="$("$bin/graphjoin" -connect "$addr" -datalog 'extra(a, b)' | extract)"
+if [ "$tri_got" != "$tri_want" ] || [ "$extra_got" != "$extra_want" ]; then
+  echo "integration: post-recovery counts tri=$tri_got/$tri_want extra=$extra_got/$extra_want" >&2
+  exit 1
+fi
+echo "integration: counts survived kill -9 (tri=$tri_got, extra=$extra_got)"
+
+# Graceful shutdown writes a final checkpoint, so the next start is
+# replay-free from a snapshot.
+kill -TERM "$server_pid"
+for _ in $(seq 1 50); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$server_pid" || { echo "integration: durable server exited non-zero" >&2; exit 1; }
+server_pid=""
+ls "$data_dir"/default/snap-*.snap > /dev/null 2>&1 \
+  || { echo "integration: no checkpoint snapshot after clean shutdown" >&2; exit 1; }
 
 echo "integration: OK"

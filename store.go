@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/agm"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -17,8 +18,10 @@ import (
 // disagrees with the relation's declared arity; branch with errors.Is.
 var ErrArityMismatch = errors.New("arity mismatch")
 
-// ErrRelationExists reports a DefineRelation call naming an already-defined
-// relation.
+// ErrRelationExists reports a DefineRelation call that conflicts with an
+// existing definition — same name, different arity. Redefining a relation at
+// its current arity is a no-op, so schema setup is idempotent (recovery
+// replay and client retries re-issue definitions freely).
 var ErrRelationExists = errors.New("relation already defined")
 
 // ErrValueOutOfRange reports a loaded or applied tuple value outside the
@@ -59,9 +62,15 @@ func checkDomain(op, name string, arity int, t []int64) error {
 // A Store is safe for concurrent use.
 type Store struct {
 	db *core.DB
-	// mu serializes DefineRelation's exists-check against its registration;
-	// the schema itself lives in the database (relations carry their arity).
+	// mu is the write lock: it serializes DefineRelation's exists-check
+	// against its registration and, on a durable store, pairs every WAL
+	// append with its in-memory apply so log order equals apply order.
+	// Reads never take it (the database has its own lock); fsync waits
+	// happen after it is released so concurrent writers group-commit.
 	mu sync.Mutex
+	// dur is the durability manager for stores opened with OpenStore; nil
+	// for in-memory stores, which skip logging entirely.
+	dur *durable.Manager
 }
 
 // NewStore returns an empty store.
@@ -78,8 +87,10 @@ func newStoreOver(db *core.DB) *Store {
 // DefineRelation declares a named relation of the given arity and registers
 // it empty, so queries over it compile before the first Load. Names must be
 // identifiers ([A-Za-z_][A-Za-z0-9_]*) — the ParseQuery syntax has to be able
-// to name them — and arity must be at least 1. Redefining a name fails with
-// ErrRelationExists; use Load to replace a relation's contents.
+// to name them — and arity must be at least 1. Redefining a relation at its
+// current arity is a no-op (schema setup is idempotent); redefining it at a
+// different arity fails with ErrRelationExists. Use Load to replace a
+// relation's contents.
 func (s *Store) DefineRelation(name string, arity int) error {
 	if !isIdent(name) {
 		return fmt.Errorf("store: relation name %q is not an identifier", name)
@@ -88,11 +99,26 @@ func (s *Store) DefineRelation(name string, arity int) error {
 		return fmt.Errorf("store: relation %q: arity %d out of range (want >= 1)", name, arity)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.db.Relation(name); err == nil {
-		return fmt.Errorf("store: %w: %q", ErrRelationExists, name)
+	if cur, err := s.db.Relation(name); err == nil {
+		defer s.mu.Unlock()
+		if cur.Arity() == arity {
+			return nil
+		}
+		return fmt.Errorf("store: %w: %q has arity %d, redefined as %d", ErrRelationExists, name, cur.Arity(), arity)
+	}
+	var lsn uint64
+	if s.dur != nil {
+		var err error
+		if lsn, err = s.dur.AppendDefine(name, arity); err != nil {
+			s.mu.Unlock()
+			return err
+		}
 	}
 	s.db.Add(relation.NewBuilder(name, arity).Build())
+	s.mu.Unlock()
+	if s.dur != nil {
+		return s.dur.Commit(lsn)
+	}
 	return nil
 }
 
@@ -132,8 +158,21 @@ func (s *Store) Load(name string, tuples [][]int64) error {
 		}
 		b.Add(t...)
 	}
-	s.db.Add(b.Build())
-	return nil
+	rel := b.Build()
+	if s.dur == nil {
+		s.db.Add(rel)
+		return nil
+	}
+	s.mu.Lock()
+	lsn, err := s.dur.AppendLoad(name, tuples)
+	if err == nil {
+		s.db.Add(rel)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.dur.Commit(lsn)
 }
 
 // Apply applies an incremental update batch to the named relation: inserts
@@ -161,7 +200,7 @@ func (s *Store) Apply(name string, inserts, deletes [][]int64) error {
 			return err
 		}
 	}
-	return s.db.ApplyDelta(name, inserts, deletes)
+	return s.applyDeltas([]core.DeltaBatch{{Name: name, Inserts: inserts, Deletes: deletes}})
 }
 
 // CheckQuery validates a query against the store's schema: every atom must

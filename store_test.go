@@ -357,7 +357,10 @@ func TestStoreSchemaErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := s.DefineRelation("likes", 3); !errors.Is(err, ErrRelationExists) {
-		t.Errorf("redefining: %v, want ErrRelationExists", err)
+		t.Errorf("conflicting redefine: %v, want ErrRelationExists", err)
+	}
+	if err := s.DefineRelation("likes", 2); err != nil {
+		t.Errorf("same-arity redefine: %v, want no-op nil", err)
 	}
 	if err := s.DefineRelation("bad name", 2); err == nil {
 		t.Error("non-identifier name should fail")
@@ -676,10 +679,10 @@ func TestGraphApplyEdges(t *testing.T) {
 	}
 }
 
-// TestCountViewApplyEdgesAccounting: the view's staged write path keeps the
-// wrapper accounting in sync, including the insert-after-delete resolution
-// of an edge on both sides of a batch (which UpdateRelation lands), and
-// rejects out-of-domain vertices with a typed error.
+// TestCountViewApplyEdgesAccounting: the view's atomic write path keeps the
+// wrapper accounting in sync, resolves an edge on both sides of one batch
+// as delete-after-insert exactly like Graph.ApplyEdges, and rejects
+// out-of-domain vertices with a typed error.
 func TestCountViewApplyEdgesAccounting(t *testing.T) {
 	ctx := context.Background()
 	g := NewGraph([][2]int64{{0, 1}, {1, 2}})
@@ -687,9 +690,20 @@ func TestCountViewApplyEdgesAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Edge (0,7) is absent: delete no-ops, insert lands — the relation AND
-	// the accounting both gain it.
+	// Edge (0,7) is absent and appears on both sides: delete-after-insert —
+	// it never lands, in the relation or the accounting.
+	nodes, edges := g.Nodes(), g.Edges()
 	if err := v.ApplyEdges(ctx, [][2]int64{{0, 7}}, [][2]int64{{0, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != nodes || g.Edges() != edges {
+		t.Errorf("both-sides batch moved accounting: nodes %d->%d edges %d->%d",
+			nodes, g.Nodes(), edges, g.Edges())
+	}
+	// A present edge on both sides is deleted; a plain insert lands. The
+	// accounting and the stored relation stay in lockstep throughout, and
+	// the maintained count tracks the triangle being completed.
+	if err := v.ApplyEdges(ctx, [][2]int64{{1, 2}, {0, 2}}, [][2]int64{{1, 2}}); err != nil {
 		t.Fatal(err)
 	}
 	fwd, err := g.DB().Relation("fwd")
@@ -697,10 +711,14 @@ func TestCountViewApplyEdgesAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	if g.Edges() != fwd.Len() {
-		t.Errorf("Edges() = %d, fwd holds %d after both-sides batch", g.Edges(), fwd.Len())
+		t.Errorf("Edges() = %d, fwd holds %d after mixed batch", g.Edges(), fwd.Len())
 	}
-	if g.Nodes() != 8 {
-		t.Errorf("Nodes() = %d, want 8", g.Nodes())
+	want, err := Count(ctx, g, Triangles(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Count() != want {
+		t.Errorf("Count() = %d, recount says %d", v.Count(), want)
 	}
 	if err := v.ApplyEdges(ctx, [][2]int64{{2, -9}}, nil); !errors.Is(err, ErrValueOutOfRange) {
 		t.Errorf("negative vertex through view: %v, want ErrValueOutOfRange", err)
