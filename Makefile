@@ -2,7 +2,7 @@
 # jobs (.github/workflows/ci.yml), so "it passed make" and "it passed CI"
 # mean the same thing.
 
-.PHONY: help build test race lint integration bench bench-smoke bench-gate clean
+.PHONY: help build test race lint integration bench bench-smoke bench-gate load-smoke load-gate clean
 
 help:
 	@echo "Available targets:"
@@ -15,6 +15,8 @@ help:
 	@echo "  make bench        - Run all benchmarks (every index backend)"
 	@echo "  make bench-smoke  - Run every benchmark once (the CI smoke job)"
 	@echo "  make bench-gate   - Gate bench-smoke.txt against bench-smoke.old.txt"
+	@echo "  make load-smoke   - Boot graphjoind and drive it with graphjoinload"
+	@echo "  make load-gate    - Gate load-smoke.json against load-smoke.old.json"
 	@echo "  make clean        - Drop build artifacts and the test cache"
 	@echo ""
 
@@ -51,11 +53,24 @@ bench-smoke:
 # The CI regression gate, runnable locally: snapshot a baseline with
 # `make bench-smoke && cp bench-smoke.txt bench-smoke.old.txt`, hack, then
 # `make bench-smoke bench-gate`. Without a baseline (the first run) the gate
-# passes with a notice — benchgate.sh handles the missing-old case itself.
+# is skipped — benchgate.sh exits 3 for that case, which counts as success
+# here (only exit 1, a real regression, fails the target).
 bench-gate:
 	@test -f bench-smoke.txt || { echo "no current run: run 'make bench-smoke' first"; exit 1; }
-	scripts/benchgate.sh bench-smoke.old.txt bench-smoke.txt
+	@scripts/benchgate.sh bench-smoke.old.txt bench-smoke.txt || { \
+		status=$$?; [ $$status -eq 3 ] && exit 0; exit $$status; }
+
+# The load smoke and its gate, mirroring bench-smoke/bench-gate: snapshot a
+# baseline with `make load-smoke && cp load-smoke.json load-smoke.old.json`,
+# hack, then `make load-smoke load-gate`.
+load-smoke:
+	scripts/loadsmoke.sh
+
+load-gate:
+	@test -f load-smoke.json || { echo "no current run: run 'make load-smoke' first"; exit 1; }
+	@scripts/loadgate.sh load-smoke.old.json load-smoke.json || { \
+		status=$$?; [ $$status -eq 3 ] && exit 0; exit $$status; }
 
 clean:
-	rm -f bench-smoke.txt bench-smoke.old.txt *.prof
+	rm -f bench-smoke.txt bench-smoke.old.txt load-smoke.json load-smoke.old.json *.prof
 	go clean -testcache

@@ -40,6 +40,10 @@ var (
 	ErrClosed = errors.New("client: connection closed")
 	// ErrShuttingDown reports a request refused by a draining server.
 	ErrShuttingDown = wire.ErrShuttingDown
+	// ErrOverloaded reports a request rejected by the server's per-store
+	// admission control (in-flight budget exhausted, queue full). The
+	// request never started; retrying after backoff is safe.
+	ErrOverloaded = wire.ErrOverloaded
 	// ErrUnknownStore reports a Dial naming a store the server does not host.
 	ErrUnknownStore = wire.ErrUnknownStore
 	// ErrUnknownHandle reports a prepared handle the server no longer holds.
@@ -431,6 +435,23 @@ func (s *Store) Arity(name string) (int, error) {
 		}
 	}
 	return 0, fmt.Errorf("client: %w: %q", repro.ErrUnknownRelation, name)
+}
+
+// Metrics fetches the server's process metrics rendered in the Prometheus
+// text exposition format — the wire-level counterpart of the -metrics-addr
+// HTTP endpoint (same payload), for clients without HTTP access to the
+// server host.
+func (s *Store) Metrics(ctx context.Context) (string, error) {
+	body, err := s.roundTrip(ctx, wire.TMetrics, nil, wire.TMetricsOK)
+	if err != nil {
+		return "", err
+	}
+	d := wire.NewDec(body)
+	text := d.Str()
+	if d.Err() != nil {
+		return "", fmt.Errorf("client: malformed Metrics response: %w", d.Err())
+	}
+	return text, nil
 }
 
 // ParseQuery parses and validates the query against the server's schema; see

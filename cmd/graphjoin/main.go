@@ -39,11 +39,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
 	"repro/client"
 	"repro/internal/cli"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -100,7 +102,8 @@ func run() error {
 	}
 
 	var qr repro.Querier
-	var store *repro.Store // non-nil in the local modes (AGM bound)
+	var store *repro.Store   // non-nil in the local modes (AGM bound)
+	var remote *client.Store // non-nil with -connect (server metrics)
 	var desc string
 	switch {
 	case *connect != "":
@@ -121,7 +124,7 @@ func run() error {
 		if err := cli.SetupSchema(c, relations, loads); err != nil {
 			return err
 		}
-		qr = c
+		qr, remote = c, c
 		desc = fmt.Sprintf("remote %s: %s", *connect, cli.DescribeSchema(ctx, c))
 	case len(relations) > 0:
 		if *datalog == "" {
@@ -221,7 +224,40 @@ func run() error {
 			st.Executions, st.Outputs, st.Seeks, st.Probes, st.ProbeMemoHits, st.Constraints, st.FreeTupleSteps, st.ReuseHits, st.MemoStores)
 		fmt.Printf("plan:  cacheHits=%d cacheMisses=%d gaoDerivations=%d indexBindings=%d\n",
 			st.PlanCacheHits, st.PlanCacheMisses, st.GAODerivations, st.IndexBindings)
+		if remote != nil {
+			if err := printServerMetrics(ctx, remote, *storeName); err != nil {
+				fmt.Fprintf(os.Stderr, "graphjoin: server metrics: %v\n", err)
+			}
+		}
 	}
+	return nil
+}
+
+// printServerMetrics fetches the server's metrics over the wire and prints
+// the serving counters for the bound store — the remote half of -stats.
+func printServerMetrics(ctx context.Context, remote *client.Store, storeName string) error {
+	if storeName == "" {
+		storeName = "default"
+	}
+	text, err := remote.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	samples, err := metrics.ParseText(strings.NewReader(text))
+	if err != nil {
+		return err
+	}
+	sum := func(name string) float64 {
+		return metrics.SumSamples(samples, name, "store", storeName)
+	}
+	fmt.Printf("server: requests=%.0f errors=%.0f rejected=%.0f connections=%.0f inflight=%.0f queued=%.0f creditStall=%.3gs\n",
+		sum("graphjoind_requests_total"), sum("graphjoind_request_errors_total"),
+		sum("graphjoind_rejected_total"), sum("graphjoind_connections"),
+		sum("graphjoind_inflight_requests"), sum("graphjoind_queued_requests"),
+		sum("graphjoind_rows_credit_stall_seconds_total"))
+	fmt.Printf("server: leases=%.0f overlayDepth=%.0f walFsyncs=%.0f checkpoints=%.0f\n",
+		sum("graphjoind_open_leases"), sum("graphjoind_overlay_depth"),
+		sum("graphjoind_wal_fsync_seconds_count"), sum("graphjoind_checkpoint_seconds_count"))
 	return nil
 }
 

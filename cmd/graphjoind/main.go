@@ -37,6 +37,14 @@
 //
 //	graphjoind -data-dir /var/lib/graphjoind -model ba -nodes 10000 -edges 50000
 //
+// With -metrics-addr the server exposes Prometheus text metrics and a
+// liveness probe over HTTP (see docs/OPERATIONS.md for the full inventory),
+// and -max-inflight/-max-queued bound each store's concurrent work — requests
+// beyond the budget fail fast with a typed overloaded error clients can
+// detect with errors.Is(err, client.ErrOverloaded):
+//
+//	graphjoind -metrics-addr :9090 -max-inflight 64 -max-queued 128
+//
 // The server drains on SIGINT/SIGTERM: in-flight queries finish (up to
 // -drain), new requests are refused, then a final checkpoint is written and
 // the logs are closed.
@@ -48,6 +56,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -59,6 +68,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/metrics"
 	"repro/server"
 )
 
@@ -81,6 +91,9 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "generator seed (with -model)")
 		selectivity = flag.Int("selectivity", 10, "node-sample selectivity for a preloaded graph")
 		drain       = flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus text) and /healthz; empty disables")
+		maxInflight = flag.Int("max-inflight", 0, "per-store cap on concurrently running requests (0 = unlimited)")
+		maxQueued   = flag.Int("max-queued", 0, "per-store queue depth beyond -max-inflight before requests are rejected as overloaded")
 		dataDir     = flag.String("data-dir", "", "root directory for durable stores (one subdirectory per store); empty serves in-memory")
 		fsync       = flag.String("fsync", "group", "WAL fsync policy with -data-dir: group | always | none")
 		fsyncWindow = flag.Duration("fsync-window", 0, "group-commit accumulation window (how long a sync leader waits for more writers)")
@@ -138,7 +151,18 @@ func run() error {
 		}
 	}()
 
-	srv := server.New(server.Config{Stores: stores, Logf: func(format string, args ...any) {
+	// Per-tenant admission control: the same budget for every store. A
+	// tenant beyond its budget gets a typed overloaded error; other tenants
+	// are unaffected.
+	var limits map[string]server.Limits
+	if *maxInflight > 0 {
+		limits = make(map[string]server.Limits, len(stores))
+		for name := range stores {
+			limits[name] = server.Limits{MaxInflight: *maxInflight, MaxQueued: *maxQueued}
+		}
+	}
+
+	srv := server.New(server.Config{Stores: stores, Limits: limits, Logf: func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "graphjoind: "+format+"\n", args...)
 	}})
 
@@ -149,6 +173,35 @@ func run() error {
 	names := srv.Stores()
 	sort.Strings(names)
 	fmt.Printf("graphjoind: serving stores [%s] on %s\n", strings.Join(names, " "), l.Addr())
+
+	// The observability sidecar listener: /metrics in Prometheus text format,
+	// /healthz for liveness probes. It binds before the banner-reading scripts
+	// proceed and is torn down with the server.
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Default().Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+		metricsSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := metricsSrv.Serve(ml); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "graphjoind: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Printf("graphjoind: metrics on http://%s/metrics\n", ml.Addr())
+		defer func() {
+			closeCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			metricsSrv.Shutdown(closeCtx)
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -209,7 +262,7 @@ func run() error {
 // every later start the disk is the source of truth and the preload is
 // ignored, so changing preload flags cannot silently fork a live dataset.
 func openDurable(dir, name, fsync string, window time.Duration, seed *repro.Store) (*repro.Store, error) {
-	st, info, err := repro.OpenStore(dir, repro.DurabilityOptions{Sync: fsync, GroupWindow: window})
+	st, info, err := repro.OpenStore(dir, repro.DurabilityOptions{Sync: fsync, GroupWindow: window, MetricsName: name})
 	if err != nil {
 		return nil, fmt.Errorf("store %q: %w", name, err)
 	}

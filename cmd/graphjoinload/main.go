@@ -1,0 +1,429 @@
+// Command graphjoinload drives a running graphjoind server with a mixed
+// concurrent workload and reports a machine-readable summary — the
+// reproduction's load harness, built for the CI throughput gauntlet and for
+// sizing admission budgets by hand.
+//
+// It opens -conns connections to one store, each running a weighted mix of
+// Count, streaming Rows, and Apply (write) requests against a relation the
+// harness defines and loads itself, for -duration. The summary is one JSON
+// line on stdout: achieved QPS, client-side latency quantiles (p50/p95/p99),
+// and error counts, with overloaded rejections (admission control) broken
+// out from other failures.
+//
+//	graphjoinload -addr 127.0.0.1:7474 -conns 8 -duration 10s
+//	graphjoinload -addr 127.0.0.1:7474 -mix 'count=6,rows=3,apply=1'
+//
+// With -metrics-url the harness scrapes the server's Prometheus endpoint
+// before and after the run and cross-checks the server's requests_total
+// delta against its own request ledger — every harness operation is exactly
+// one wire request, so the two must match exactly (the run must own the
+// store: concurrent foreign traffic breaks the equality). A mismatch means
+// lost or double-counted requests and fails the run:
+//
+//	graphjoinload -addr 127.0.0.1:7474 -metrics-url http://127.0.0.1:9090/metrics
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/client"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "graphjoinload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// opResult is one completed operation in a worker's log.
+type opResult struct {
+	typ        string
+	elapsed    time.Duration
+	overloaded bool
+	failed     bool
+}
+
+// typeSummary aggregates one request type across all workers.
+type typeSummary struct {
+	Ops        int64 `json:"ops"`
+	Overloaded int64 `json:"overloaded"`
+	Errors     int64 `json:"errors"`
+}
+
+// summary is the one-line JSON report.
+type summary struct {
+	Conns      int                    `json:"conns"`
+	DurationS  float64                `json:"duration_s"`
+	Ops        int64                  `json:"ops"`
+	QPS        float64                `json:"qps"`
+	Errors     int64                  `json:"errors"`
+	Overloaded int64                  `json:"overloaded"`
+	P50Ms      float64                `json:"p50_ms"`
+	P95Ms      float64                `json:"p95_ms"`
+	P99Ms      float64                `json:"p99_ms"`
+	ByType     map[string]typeSummary `json:"by_type"`
+	// Crosscheck is "ok", "skipped" (no -metrics-url), or "mismatch";
+	// Ledger is the client-side count of admitted wire requests and
+	// ServerDelta the server's requests_total advance over the run.
+	Crosscheck  string `json:"crosscheck"`
+	Ledger      int64  `json:"ledger"`
+	ServerDelta int64  `json:"server_delta"`
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7474", "graphjoind wire address")
+		storeName  = flag.String("store", "", "named store on a multi-tenant server (default \"default\")")
+		metricsURL = flag.String("metrics-url", "", "server /metrics URL; enables the requests_total cross-check")
+		conns      = flag.Int("conns", 4, "concurrent connections (one worker each)")
+		duration   = flag.Duration("duration", 5*time.Second, "how long to drive load")
+		mix        = flag.String("mix", "count=6,rows=3,apply=1", "workload weights: count,rows,apply")
+		relName    = flag.String("relation", "loadtest_edge", "relation the harness defines, loads, and queries")
+		relNodes   = flag.Int("dataset-nodes", 500, "node id space of the harness-loaded edge list")
+		relEdges   = flag.Int("dataset-edges", 2000, "edges in the harness-loaded edge list")
+		rowsLimit  = flag.Int("rows-limit", 256, "rows consumed per streaming Rows operation before stopping")
+		engine     = flag.String("engine", "lftj", "engine for the prepared query")
+		seed       = flag.Int64("seed", 1, "workload randomness seed")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	before, err := scrape(*metricsURL)
+	if err != nil {
+		return fmt.Errorf("pre-run metrics scrape: %w", err)
+	}
+
+	opts := []client.Option{client.WithRequestTimeout(*timeout)}
+	if *storeName != "" {
+		opts = append(opts, client.WithStore(*storeName))
+	}
+
+	// Setup on the first connection: define and load the workload relation
+	// and parse the query once. Each of these is one counted wire request.
+	var ledger ledger
+	setup, err := client.Dial(ctx, *addr, opts...)
+	if err != nil {
+		return err
+	}
+	defer setup.Close()
+	loaded, err := setupRelation(setup, &ledger, *relName, *relNodes, *relEdges, *seed)
+	if err != nil {
+		return err
+	}
+	if !loaded {
+		fmt.Fprintf(os.Stderr, "graphjoinload: relation %q already defined; reusing its contents\n", *relName)
+	}
+	q, err := setup.ParseQuery("load", fmt.Sprintf("%s(a,b), %s(b,c)", *relName, *relName))
+	if err != nil {
+		return err
+	}
+	ledger.add("parse", 1)
+
+	// One worker per connection, each with its own prepared handle.
+	workers := make([]*worker, *conns)
+	for i := range workers {
+		c, err := client.Dial(ctx, *addr, opts...)
+		if err != nil {
+			return fmt.Errorf("conn %d: %w", i, err)
+		}
+		defer c.Close()
+		p, err := c.Prepare(q, repro.Options{Algorithm: repro.Algorithm(*engine)})
+		if err != nil {
+			return fmt.Errorf("conn %d: prepare: %w", i, err)
+		}
+		ledger.add("prepare", 1)
+		workers[i] = &worker{
+			store:     c,
+			prepared:  p,
+			rng:       rand.New(rand.NewSource(*seed + int64(i)*7919)),
+			weights:   weights,
+			relName:   *relName,
+			relNodes:  *relNodes,
+			rowsLimit: *rowsLimit,
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.drive(runCtx)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Close the prepared handles before the final scrape so the
+	// close_prepared requests land inside the measured window.
+	for _, w := range workers {
+		if err := w.prepared.Close(); err == nil {
+			ledger.add("close_prepared", 1)
+		}
+	}
+
+	after, err := scrape(*metricsURL)
+	if err != nil {
+		return fmt.Errorf("post-run metrics scrape: %w", err)
+	}
+
+	s := summarize(workers, *conns, elapsed, &ledger)
+	crosscheck(&s, before, after, effectiveStore(*storeName), &ledger)
+
+	out, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	if s.Crosscheck == "mismatch" {
+		return fmt.Errorf("server requests_total advanced by %d, client ledger says %d", s.ServerDelta, s.Ledger)
+	}
+	return nil
+}
+
+// ledger counts the wire requests this process has issued that the server
+// admits (rejected requests are subtracted by the callers as they happen) —
+// the client-side truth the server's requests_total is checked against.
+type ledger struct {
+	mu     sync.Mutex
+	byType map[string]int64
+}
+
+func (l *ledger) add(typ string, n int64) {
+	l.mu.Lock()
+	if l.byType == nil {
+		l.byType = make(map[string]int64)
+	}
+	l.byType[typ] += n
+	l.mu.Unlock()
+}
+
+func (l *ledger) total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var t int64
+	for _, n := range l.byType {
+		t += n
+	}
+	return t
+}
+
+// setupRelation defines and loads the workload relation; it reports false
+// (without error) when the relation already exists on the server, so repeat
+// runs against a durable store work.
+func setupRelation(c *client.Store, led *ledger, name string, nodes, edges int, seed int64) (bool, error) {
+	err := c.DefineRelation(name, 2)
+	led.add("define", 1)
+	if err != nil {
+		if strings.Contains(err.Error(), "exists") || strings.Contains(err.Error(), "defined") {
+			return false, nil
+		}
+		return false, fmt.Errorf("define %s: %w", name, err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tuples := make([][]int64, edges)
+	for i := range tuples {
+		tuples[i] = []int64{rng.Int63n(int64(nodes)), rng.Int63n(int64(nodes))}
+	}
+	if err := c.Load(name, tuples); err != nil {
+		return false, fmt.Errorf("load %s: %w", name, err)
+	}
+	led.add("load", 1)
+	return true, nil
+}
+
+// worker drives one connection's share of the workload.
+type worker struct {
+	store     *client.Store
+	prepared  repro.PreparedQuery
+	rng       *rand.Rand
+	weights   [3]int // count, rows, apply
+	relName   string
+	relNodes  int
+	rowsLimit int
+	results   []opResult
+}
+
+// drive runs ops until the run deadline. The deadline only gates starting a
+// new op — each op runs to completion on its own context (bounded by the
+// client's per-request timeout), because an op abandoned mid-flight may
+// already be admitted and counted server-side, which would break the exact
+// requests_total cross-check.
+func (w *worker) drive(runCtx context.Context) {
+	total := w.weights[0] + w.weights[1] + w.weights[2]
+	opCtx := context.Background()
+	for runCtx.Err() == nil {
+		pick := w.rng.Intn(total)
+		var typ string
+		var err error
+		start := time.Now()
+		switch {
+		case pick < w.weights[0]:
+			typ = "count"
+			_, err = w.prepared.Count(opCtx)
+		case pick < w.weights[0]+w.weights[1]:
+			typ = "rows"
+			n := 0
+			err = w.prepared.Enumerate(opCtx, func([]int64) bool {
+				n++
+				return n < w.rowsLimit
+			})
+		default:
+			typ = "apply"
+			err = w.store.Apply(w.relName,
+				[][]int64{{w.rng.Int63n(int64(w.relNodes)), w.rng.Int63n(int64(w.relNodes))}}, nil)
+		}
+		w.results = append(w.results, opResult{
+			typ:        typ,
+			elapsed:    time.Since(start),
+			overloaded: errors.Is(err, client.ErrOverloaded),
+			failed:     err != nil && !errors.Is(err, client.ErrOverloaded),
+		})
+	}
+}
+
+// summarize folds the worker logs into the report and fills the ledger with
+// the admitted operation counts (attempts minus overloaded rejections, which
+// the server counts separately).
+func summarize(workers []*worker, conns int, elapsed time.Duration, led *ledger) summary {
+	var all []time.Duration
+	byType := make(map[string]typeSummary)
+	var errs, overloaded int64
+	for _, w := range workers {
+		for _, r := range w.results {
+			t := byType[r.typ]
+			t.Ops++
+			if r.overloaded {
+				t.Overloaded++
+				overloaded++
+			} else {
+				led.add(r.typ, 1)
+				if r.failed {
+					t.Errors++
+					errs++
+				}
+			}
+			byType[r.typ] = t
+			all = append(all, r.elapsed)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Millisecond)
+	}
+	ops := int64(len(all))
+	return summary{
+		Conns:      conns,
+		DurationS:  elapsed.Seconds(),
+		Ops:        ops,
+		QPS:        float64(ops) / elapsed.Seconds(),
+		Errors:     errs,
+		Overloaded: overloaded,
+		P50Ms:      quantile(0.50),
+		P95Ms:      quantile(0.95),
+		P99Ms:      quantile(0.99),
+		ByType:     byType,
+	}
+}
+
+// crosscheck compares the server's requests_total advance against the
+// client-side ledger. Exact equality is the contract: the server counts a
+// request before writing any response frame, the harness counts it when the
+// response arrives, and rejections live in rejected_total instead.
+func crosscheck(s *summary, before, after []metrics.Sample, store string, led *ledger) {
+	s.Ledger = led.total()
+	if before == nil || after == nil {
+		s.Crosscheck = "skipped"
+		return
+	}
+	delta := func(name string) int64 {
+		return int64(metrics.SumSamples(after, name, "store", store) -
+			metrics.SumSamples(before, name, "store", store))
+	}
+	s.ServerDelta = delta("graphjoind_requests_total")
+	if s.ServerDelta == s.Ledger && delta("graphjoind_rejected_total") == s.Overloaded {
+		s.Crosscheck = "ok"
+	} else {
+		s.Crosscheck = "mismatch"
+	}
+}
+
+// scrape fetches and parses a Prometheus endpoint; a nil slice (no error)
+// means the cross-check is disabled.
+func scrape(url string) ([]metrics.Sample, error) {
+	if url == "" {
+		return nil, nil
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return metrics.ParseText(resp.Body)
+}
+
+func effectiveStore(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
+}
+
+// parseMix turns "count=6,rows=3,apply=1" into weights.
+func parseMix(s string) ([3]int, error) {
+	w := [3]int{}
+	idx := map[string]int{"count": 0, "rows": 1, "apply": 2}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		i, known := idx[strings.TrimSpace(k)]
+		if !ok || !known {
+			return w, fmt.Errorf("bad -mix element %q (want count=N,rows=N,apply=N)", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("bad -mix weight %q", part)
+		}
+		w[i] = n
+	}
+	if w[0]+w[1]+w[2] == 0 {
+		return w, fmt.Errorf("-mix has no positive weights")
+	}
+	return w, nil
+}

@@ -3,6 +3,7 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -30,6 +31,11 @@ type DurabilityOptions struct {
 	// to join its fsync; zero syncs immediately. Larger windows trade
 	// per-write latency for fewer fsyncs under concurrency.
 	GroupWindow time.Duration
+	// MetricsName is the store label this store's durability metrics (WAL
+	// fsync latency, group-commit batch size, checkpoint duration and age)
+	// are registered under in the process metrics registry. Empty defaults
+	// to the base name of dir; "-" disables durability metrics entirely.
+	MetricsName string
 }
 
 // RecoveryInfo summarizes what OpenStore reconstructed from disk.
@@ -65,7 +71,14 @@ func OpenStore(dir string, opts DurabilityOptions) (*Store, *RecoveryInfo, error
 	if err != nil {
 		return nil, nil, err
 	}
-	mgr, rec, err := durable.Open(dir, durable.Options{Sync: policy, GroupWindow: opts.GroupWindow})
+	label := opts.MetricsName
+	switch label {
+	case "":
+		label = filepath.Base(dir)
+	case "-":
+		label = ""
+	}
+	mgr, rec, err := durable.Open(dir, durable.Options{Sync: policy, GroupWindow: opts.GroupWindow, MetricsLabel: label})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -168,6 +168,10 @@ func (c *csrIndex) applyDelta(ins, dels [][]int64) {
 	c.ov.Store(c.ov.Load().Apply(ins, dels))
 }
 
+// PendingDelta returns the overlay log size (tuples applied since the last
+// compaction); DB.OverlayDepth aggregates it for the metrics layer.
+func (c *csrIndex) PendingDelta() int { return c.ov.Load().LogLen() }
+
 // overlayView is one immutable overlay snapshot served as an IndexBackend.
 type overlayView struct {
 	ov *relation.Overlay

@@ -108,6 +108,21 @@ func (db *DB) addLocked(r *relation.Relation) {
 	}
 }
 
+// OverlayDepth sums the pending delta-log sizes of every cached CSR index:
+// the number of tuples sitting in overlay logs ahead of their base tries.
+// The metrics layer exports it per store as graphjoind_overlay_depth.
+func (db *DB) OverlayDepth() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	total := 0
+	for _, e := range db.tries {
+		if p, ok := e.idx.(interface{ PendingDelta() int }); ok {
+			total += p.PendingDelta()
+		}
+	}
+	return total
+}
+
 // Version returns the database's mutation counter (incremented by every Add
 // and ApplyDelta). Callers that cache derived state — the incremental views
 // cache compiled delta plans — compare versions to detect relations changing

@@ -5,10 +5,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/relation"
 )
 
@@ -27,6 +29,11 @@ type Options struct {
 	// commits to join its fsync. Zero syncs immediately (still batching
 	// whatever arrived while the previous fsync was in flight).
 	GroupWindow time.Duration
+	// MetricsLabel, when non-empty, registers this manager's durability
+	// metrics (WAL fsync latency, group-commit batch size, checkpoint
+	// duration and age) in the process metrics registry under
+	// store=<MetricsLabel>. Empty disables instrumentation.
+	MetricsLabel string
 }
 
 // Record is one replayable log record surfaced by recovery.
@@ -68,6 +75,12 @@ type Recovered struct {
 type Manager struct {
 	dir string
 	log *log
+
+	// ckptHist times Checkpoint; lastCkpt holds the wall-clock nanos of the
+	// last successful checkpoint for the age gauge. Both are inert when
+	// Options.MetricsLabel was empty.
+	ckptHist *metrics.Histogram
+	lastCkpt atomic.Int64
 }
 
 // Open attaches to (or initializes) the durable state in dir and returns
@@ -123,7 +136,29 @@ func Open(dir string, opts Options) (*Manager, *Recovered, error) {
 		l.close()
 		return nil, nil, fmt.Errorf("%w: no valid snapshot and log starts past LSN 1", ErrCorruptLog)
 	}
-	return &Manager{dir: dir, log: l}, rec, nil
+	m := &Manager{dir: dir, log: l}
+	if opts.MetricsLabel != "" {
+		reg := metrics.Default()
+		l.fsyncHist = reg.Histogram("graphjoind_wal_fsync_seconds",
+			"WAL flush+fsync latency per group-commit round.", "store", opts.MetricsLabel)
+		l.groupHist = reg.HistogramBuckets("graphjoind_wal_group_commit_records",
+			"Log records made durable per fsync round.", metrics.SizeBuckets, "store", opts.MetricsLabel)
+		m.ckptHist = reg.Histogram("graphjoind_checkpoint_seconds",
+			"Snapshot checkpoint duration (rotate + write + prune).", "store", opts.MetricsLabel)
+		reg.GaugeFunc("graphjoind_checkpoint_age_seconds",
+			"Seconds since the last successful checkpoint (-1 before the first).",
+			m.checkpointAge, "store", opts.MetricsLabel)
+	}
+	return m, rec, nil
+}
+
+// checkpointAge backs the graphjoind_checkpoint_age_seconds gauge.
+func (m *Manager) checkpointAge() float64 {
+	t := m.lastCkpt.Load()
+	if t == 0 {
+		return -1
+	}
+	return time.Since(time.Unix(0, t)).Seconds()
 }
 
 func listSnapshots(dir string) ([]string, error) {
@@ -210,6 +245,7 @@ func (m *Manager) LastLSN() uint64 {
 // prunes segments and snapshots the new snapshot supersedes. After a
 // successful checkpoint, recovery replays only records past lsn.
 func (m *Manager) Checkpoint(lsn uint64, rels []*relation.Relation) error {
+	start := time.Now()
 	// Rotation fsyncs all appended records, so the snapshot never claims an
 	// LSN the log hasn't durably reached.
 	if err := m.log.rotate(); err != nil {
@@ -219,6 +255,10 @@ func (m *Manager) Checkpoint(lsn uint64, rels []*relation.Relation) error {
 		return err
 	}
 	m.log.prune(lsn)
+	if m.ckptHist != nil {
+		m.ckptHist.ObserveSince(start)
+	}
+	m.lastCkpt.Store(time.Now().UnixNano())
 	return nil
 }
 

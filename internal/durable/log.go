@@ -50,6 +50,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // ErrCorruptLog reports log damage: a torn or corrupt tail dropped during
@@ -110,6 +112,11 @@ type log struct {
 	dir    string
 	policy SyncPolicy
 	window time.Duration
+
+	// fsyncHist/groupHist, when non-nil, record fsync latency and group-commit
+	// batch sizes into the process metrics registry (see Options.MetricsLabel).
+	fsyncHist *metrics.Histogram
+	groupHist *metrics.Histogram
 
 	// mu guards the active segment file, the append buffer, and LSN
 	// assignment. fsyncs happen outside it (see ioLatch) so appends keep
@@ -242,6 +249,7 @@ func (l *log) commit(lsn uint64) error {
 // excludes rotation and close while the locks are released around the I/O.
 func (l *log) leaderSync(window time.Duration) {
 	l.syncing = true
+	prevSynced := l.synced
 	l.sm.Unlock()
 	if window > 0 {
 		// Accumulation window: let more commits pile into this fsync.
@@ -249,11 +257,18 @@ func (l *log) leaderSync(window time.Duration) {
 	}
 	l.mu.Lock()
 	target := l.appended
+	start := time.Now()
 	err := l.writeOutLocked()
 	f := l.f
 	l.mu.Unlock()
 	if err == nil && f != nil {
 		err = f.Sync()
+	}
+	if l.fsyncHist != nil {
+		l.fsyncHist.ObserveSince(start)
+	}
+	if err == nil && l.groupHist != nil && target > prevSynced {
+		l.groupHist.Observe(float64(target - prevSynced))
 	}
 	l.sm.Lock()
 	l.syncing = false

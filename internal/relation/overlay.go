@@ -1,5 +1,15 @@
 package relation
 
+import "sync/atomic"
+
+// compactions counts overlay log fold-ins process-wide; the metrics layer
+// exports it as graphjoind_overlay_compactions_total.
+var compactions atomic.Int64
+
+// OverlayCompactions returns the total number of overlay compactions (log
+// fold-ins to a fresh base trie) performed by this process.
+func OverlayCompactions() int64 { return compactions.Load() }
+
 // Overlay is an incrementally maintainable CSR trie: an immutable base trie
 // plus two small sorted logs — adds (tuples present but absent from the
 // base) and dels (base tuples that have been deleted) — materialized as
@@ -160,6 +170,7 @@ func mergeLog(log *Relation, name string, arity int, add, remove [][]int64) *Rel
 
 // compact folds the logs into a fresh base relation and trie.
 func (o *Overlay) compact() *Overlay {
+	compactions.Add(1)
 	return NewOverlay(MergeDelta(o.rel, o.adds, o.dels))
 }
 

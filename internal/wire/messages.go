@@ -42,6 +42,7 @@ const (
 	CodeCancelled        = "cancelled"
 	CodeDeadline         = "deadline-exceeded"
 	CodeShuttingDown     = "shutting-down"
+	CodeOverloaded       = "overloaded"
 	CodeUnknownHandle    = "unknown-handle"
 	CodeUnknownTxn       = "unknown-txn"
 	CodeUnknownStore     = "unknown-store"
@@ -55,6 +56,10 @@ const (
 var (
 	// ErrShuttingDown reports a request received while the server drains.
 	ErrShuttingDown = errors.New("server shutting down")
+	// ErrOverloaded reports a request rejected by per-store admission
+	// control: the store's in-flight budget is exhausted and its queue is
+	// full. The request was never started; retrying after backoff is safe.
+	ErrOverloaded = errors.New("store overloaded")
 	// ErrUnknownHandle reports a prepared-statement handle the connection
 	// does not hold (closed, or from another connection).
 	ErrUnknownHandle = errors.New("unknown prepared-statement handle")
@@ -88,6 +93,7 @@ var codeTable = []struct {
 	{CodeCancelled, context.Canceled},
 	{CodeDeadline, context.DeadlineExceeded},
 	{CodeShuttingDown, ErrShuttingDown},
+	{CodeOverloaded, ErrOverloaded},
 	{CodeUnknownHandle, ErrUnknownHandle},
 	{CodeUnknownTxn, ErrUnknownTxn},
 	{CodeUnknownStore, ErrUnknownStore},

@@ -63,6 +63,7 @@ const (
 	TStats         byte = 0x0e // Stats → TStatsOK
 	TExplain       byte = 0x0f // Explain → TExplainOK
 	TRelations     byte = 0x10 // Relations → TRelationsOK
+	TMetrics       byte = 0x11 // Metrics → TMetricsOK
 
 	// One-way control frames (client → server).
 	TCredit byte = 0x18 // grant Rows flow-control credit to a stream
@@ -82,6 +83,7 @@ const (
 	TStatsOK     byte = 0x2a
 	TExplainOK   byte = 0x2b
 	TRelationsOK byte = 0x2c
+	TMetricsOK   byte = 0x2d
 )
 
 // WriteFrame writes one frame. The caller serializes concurrent writers.

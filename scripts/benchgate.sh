@@ -5,15 +5,19 @@
 # both files, the ns/op ratio new/old is computed, and the geometric mean of
 # the ratios must not exceed 1 + BENCHGATE_MAX_REGRESSION (default 0.10,
 # i.e. a >10% aggregate slowdown fails). Individual benchmarks are noisy at
-# -benchtime=1x — the geomean across the whole suite is what gates.
+# -benchtime=1x — the geomean across the whole suite is what gates. The
+# biggest movers in both directions are printed even when the gate passes,
+# so a green run still shows where the time went.
 #
-# On the first run there is no previous artifact: a missing OLD file is not
-# an error — the gate passes with a notice, so fresh clones, forks, and the
-# first CI run of a repository go green. A missing NEW file is still a usage
-# error (the caller forgot to produce the current run).
+# On the first run there is no previous artifact: a missing OLD file (or two
+# files with no benchmark in common) is not an error — the gate is skipped
+# with exit code 3, distinct from both pass and fail, so CI can annotate
+# "first run, nothing compared" instead of silently going green. A missing
+# NEW file is still a usage error (the caller forgot to produce the current
+# run).
 #
-# Exit codes: 0 pass (or nothing comparable / first run), 1 regression,
-# 2 usage error.
+# Exit codes: 0 pass, 1 regression, 2 usage error, 3 gate skipped (first
+# run / nothing comparable).
 set -eu
 
 if [ $# -ne 2 ]; then
@@ -29,8 +33,8 @@ if [ ! -f "$new" ]; then
     exit 2
 fi
 if [ ! -f "$old" ]; then
-    echo "benchgate: no previous benchmark artifact ($old) — first run, nothing to compare against; gate passes"
-    exit 0
+    echo "benchgate: no previous benchmark artifact ($old) — first run, nothing to compare against; gate skipped"
+    exit 3
 fi
 
 # Extract "name ns_per_op" pairs. Benchmark lines look like:
@@ -43,23 +47,32 @@ extract() {
     }' "$1"
 }
 
-extract "$old" | sort >/tmp/benchgate.old.$$
-extract "$new" | sort >/tmp/benchgate.new.$$
-trap 'rm -f /tmp/benchgate.old.$$ /tmp/benchgate.new.$$' EXIT
+tmp="${TMPDIR:-/tmp}/benchgate.$$"
+trap 'rm -f "$tmp.old" "$tmp.new" "$tmp.ratio"' EXIT
+extract "$old" | sort > "$tmp.old"
+extract "$new" | sort > "$tmp.new"
 
-join /tmp/benchgate.old.$$ /tmp/benchgate.new.$$ | awk -v max="$max" '
-    $2 > 0 && $3 > 0 {
-        ratio = $3 / $2
-        sumlog += log(ratio)
-        n++
-        if (ratio >= 1.5)      printf "  slower  %-60s %8.0f -> %8.0f ns/op (%.2fx)\n", $1, $2, $3, ratio
-        else if (ratio <= 0.67) printf "  faster  %-60s %8.0f -> %8.0f ns/op (%.2fx)\n", $1, $2, $3, ratio
-    }
+# One line per comparable benchmark: "ratio name old_ns new_ns".
+join "$tmp.old" "$tmp.new" \
+    | awk '$2 > 0 && $3 > 0 { printf "%.6f %s %.0f %.0f\n", $3 / $2, $1, $2, $3 }' \
+    > "$tmp.ratio"
+
+if [ ! -s "$tmp.ratio" ]; then
+    echo "benchgate: no comparable benchmarks between $old and $new; gate skipped"
+    exit 3
+fi
+
+# The diff, printed pass or fail: the five biggest movers each way.
+echo "benchgate: biggest changes (new/old ns/op ratio):"
+sort -g "$tmp.ratio" | head -n 5 \
+    | awk '{ printf "  %-60s %8.0f -> %8.0f ns/op (%.2fx)\n", $2, $3, $4, $1 }'
+echo "  ..."
+sort -g "$tmp.ratio" | tail -n 5 \
+    | awk '{ printf "  %-60s %8.0f -> %8.0f ns/op (%.2fx)\n", $2, $3, $4, $1 }'
+
+awk -v max="$max" '
+    { sumlog += log($1); n++ }
     END {
-        if (n == 0) {
-            print "benchgate: no comparable benchmarks; skipping gate"
-            exit 0
-        }
         geomean = exp(sumlog / n)
         printf "benchgate: %d benchmarks, geomean ratio %.4f (gate: <= %.4f)\n", n, geomean, 1 + max
         if (geomean > 1 + max) {
@@ -67,4 +80,4 @@ join /tmp/benchgate.old.$$ /tmp/benchgate.new.$$ | awk -v max="$max" '
             exit 1
         }
         print "benchgate: OK"
-    }'
+    }' "$tmp.ratio"

@@ -9,8 +9,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 bin="$(mktemp -d)"
 server_pid=""
+# cleanup always runs (trap EXIT): it reaps a leftover server and, when the
+# script is failing, dumps every server log before the temp dir vanishes —
+# the CI job's only window into why a boot or query went wrong.
 cleanup() {
+  status=$?
   [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  if [ "$status" -ne 0 ]; then
+    for log in "$bin"/*.log; do
+      [ -f "$log" ] || continue
+      echo "integration: ---- $(basename "$log") ----" >&2
+      cat "$log" >&2
+    done
+  fi
   rm -rf "$bin"
 }
 trap cleanup EXIT
@@ -22,19 +33,22 @@ graph_flags=(-model ba -nodes 2000 -edges 9000 -seed 7 -selectivity 10)
 
 # boot <logfile> [flags...]: start graphjoind on an ephemeral port and scrape
 # the bound address from the serving banner (recovery banners print first and
-# don't match the pattern). Sets $server_pid and $addr.
+# don't match the pattern). The scrape retries against a wall-clock deadline
+# rather than a fixed iteration count, so a recovery replay or a slow CI
+# runner cannot outlast the loop. Sets $server_pid and $addr.
 boot() {
   local log="$1"; shift
   "$bin/graphjoind" -listen 127.0.0.1:0 "$@" > "$log" 2>&1 &
   server_pid=$!
   addr=""
-  for _ in $(seq 1 100); do
+  local deadline=$(( $(date +%s) + 30 ))
+  while [ "$(date +%s)" -lt "$deadline" ]; do
     addr="$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$log")"
     [ -n "$addr" ] && break
-    kill -0 "$server_pid" 2>/dev/null || { cat "$log" >&2; exit 1; }
+    kill -0 "$server_pid" 2>/dev/null || { echo "integration: server died during boot" >&2; exit 1; }
     sleep 0.1
   done
-  [ -n "$addr" ] || { echo "integration: server never became ready" >&2; cat "$log" >&2; exit 1; }
+  [ -n "$addr" ] || { echo "integration: server never became ready" >&2; exit 1; }
 }
 
 boot "$bin/server.log" "${graph_flags[@]}"

@@ -1,0 +1,82 @@
+#!/usr/bin/env sh
+# loadgate.sh OLD NEW — load-smoke throughput gate.
+#
+# NEW is the current run's graphjoinload JSON summary (load-smoke.json), OLD
+# the previous run's artifact. The gate fails when:
+#   - the current run saw any errors (error-rate above zero), or
+#   - the metrics cross-check did not pass ("mismatch", or the run skipped it), or
+#   - QPS regressed by more than LOADGATE_MAX_REGRESSION (default 0.10,
+#     i.e. >10%) against the previous artifact.
+#
+# Exit codes: 0 pass, 1 gate failure, 2 usage error, 3 gate skipped (no
+# previous artifact — first run; CI annotates instead of failing).
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 old-load.json new-load.json" >&2
+    exit 2
+fi
+old="$1"
+new="$2"
+max="${LOADGATE_MAX_REGRESSION:-0.10}"
+
+if [ ! -f "$new" ]; then
+    echo "loadgate: current load summary $new not found" >&2
+    exit 2
+fi
+
+# field FILE KEY — pull one scalar out of the one-line JSON summary.
+# Splitting on commas and braces puts each "key":value pair on its own line;
+# the first occurrence is the top-level one (the nested by_type duplicates of
+# ops/errors/overloaded all come later in encoding/json's field order).
+field() {
+    tr ',{' '\n\n' < "$1" \
+        | sed -n 's/^"'"$2"'":"\{0,1\}\([^",}]*\)"\{0,1\}.*/\1/p' \
+        | head -n 1
+}
+
+qps="$(field "$new" qps)"
+errors="$(field "$new" errors)"
+overloaded="$(field "$new" overloaded)"
+crosscheck="$(field "$new" crosscheck)"
+if [ -z "$qps" ] || [ -z "$errors" ] || [ -z "$crosscheck" ]; then
+    echo "loadgate: $new is not a graphjoinload summary" >&2
+    exit 2
+fi
+
+echo "loadgate: qps=$qps errors=$errors overloaded=${overloaded:-0} crosscheck=$crosscheck"
+
+if [ "$errors" != "0" ]; then
+    echo "loadgate: FAIL — $errors errors during the load run" >&2
+    exit 1
+fi
+if [ "$crosscheck" = "mismatch" ]; then
+    echo "loadgate: FAIL — server request counters disagree with the client ledger" >&2
+    exit 1
+fi
+
+# QPS must not be zero: a run that did no work passes every ratio test.
+if ! awk -v q="$qps" 'BEGIN { exit (q > 0) ? 0 : 1 }'; then
+    echo "loadgate: FAIL — zero throughput" >&2
+    exit 1
+fi
+
+if [ ! -f "$old" ]; then
+    echo "loadgate: no previous load artifact ($old) — first run, nothing to compare against"
+    exit 3
+fi
+old_qps="$(field "$old" qps)"
+if [ -z "$old_qps" ]; then
+    echo "loadgate: previous artifact has no qps; skipping comparison"
+    exit 3
+fi
+
+awk -v new="$qps" -v old="$old_qps" -v max="$max" 'BEGIN {
+    ratio = new / old
+    printf "loadgate: qps %.1f -> %.1f (ratio %.4f, gate: >= %.4f)\n", old, new, ratio, 1 - max
+    if (ratio < 1 - max) {
+        print "loadgate: FAIL — throughput regression above threshold"
+        exit 1
+    }
+    print "loadgate: OK"
+}'

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Load smoke (the CI `load-smoke` job, runnable locally as `make load-smoke`):
+# boot graphjoind with the metrics endpoint and an admission budget, drive it
+# with graphjoinload's mixed workload, and leave the one-line JSON summary in
+# load-smoke.json for scripts/loadgate.sh to gate. The harness itself fails
+# the run when its client-side request ledger disagrees with the server's
+# requests_total delta, so a green smoke also proves the metrics pipeline
+# counts exactly.
+#
+# Tunables (environment): LOADSMOKE_CONNS (default 4), LOADSMOKE_DURATION
+# (default 5s).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bin="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  status=$?
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  if [ "$status" -ne 0 ] && [ -f "$bin/server.log" ]; then
+    echo "loadsmoke: server log:" >&2
+    cat "$bin/server.log" >&2
+  fi
+  rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin/graphjoind" ./cmd/graphjoind
+go build -o "$bin/graphjoinload" ./cmd/graphjoinload
+
+"$bin/graphjoind" -listen 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+  -max-inflight 64 -max-queued 256 > "$bin/server.log" 2>&1 &
+server_pid=$!
+
+# Scrape both banners (wire address, metrics URL) with a deadline, not a
+# fixed retry count — slow CI runners boot slower than laptops.
+deadline=$(( $(date +%s) + 30 ))
+addr="" metrics_addr=""
+while [ "$(date +%s)" -lt "$deadline" ]; do
+  addr="$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$bin/server.log")"
+  metrics_addr="$(sed -n 's|.*metrics on http://\(127\.0\.0\.1:[0-9]*\)/metrics$|\1|p' "$bin/server.log")"
+  [ -n "$addr" ] && [ -n "$metrics_addr" ] && break
+  kill -0 "$server_pid" 2>/dev/null || { echo "loadsmoke: server died during boot" >&2; exit 1; }
+  sleep 0.1
+done
+if [ -z "$addr" ] || [ -z "$metrics_addr" ]; then
+  echo "loadsmoke: server never became ready" >&2
+  exit 1
+fi
+
+"$bin/graphjoinload" \
+  -addr "$addr" \
+  -metrics-url "http://$metrics_addr/metrics" \
+  -conns "${LOADSMOKE_CONNS:-4}" \
+  -duration "${LOADSMOKE_DURATION:-5s}" \
+  | tee load-smoke.json
+
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "loadsmoke: server exited non-zero" >&2; exit 1; }
+server_pid=""
+echo "loadsmoke: OK"

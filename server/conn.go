@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
+	"time"
 
 	"repro"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -51,6 +54,11 @@ type conn struct {
 
 	store     *repro.Store
 	storeName string
+	// sm/adm/lt are the bound store's instrumentation, admission gate (nil =
+	// unlimited), and lease tracker, fixed at handshake.
+	sm  *storeMetrics
+	adm *admission
+	lt  *leaseTracker
 
 	mu       sync.Mutex
 	prepared map[uint64]*repro.Prepared
@@ -62,20 +70,24 @@ type conn struct {
 	// flow-control state (for Credit frames).
 	requests map[uint64]context.CancelFunc
 	streams  map[uint64]*stream
+	// leaseToks maps transaction ids to their lease-tracker tokens so the
+	// lease-age gauges drop a lease at End or connection teardown.
+	leaseToks map[uint64]uint64
 }
 
 func newConn(srv *Server, nc net.Conn) *conn {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &conn{
-		srv:      srv,
-		nc:       nc,
-		bw:       bufio.NewWriter(nc),
-		ctx:      ctx,
-		cancel:   cancel,
-		prepared: make(map[uint64]*repro.Prepared),
-		txns:     make(map[uint64]*repro.Txn),
-		requests: make(map[uint64]context.CancelFunc),
-		streams:  make(map[uint64]*stream),
+		srv:       srv,
+		nc:        nc,
+		bw:        bufio.NewWriter(nc),
+		ctx:       ctx,
+		cancel:    cancel,
+		prepared:  make(map[uint64]*repro.Prepared),
+		txns:      make(map[uint64]*repro.Txn),
+		requests:  make(map[uint64]context.CancelFunc),
+		streams:   make(map[uint64]*stream),
+		leaseToks: make(map[uint64]uint64),
 	}
 }
 
@@ -111,6 +123,22 @@ func (c *conn) serve() {
 	defer func() {
 		c.close()
 		c.srv.removeConn(c)
+		if c.sm != nil {
+			c.sm.connections.Dec()
+		}
+		if c.lt != nil {
+			// Leases die with the connection; drop them from the age gauges.
+			c.mu.Lock()
+			toks := make([]uint64, 0, len(c.leaseToks))
+			for _, tok := range c.leaseToks {
+				toks = append(toks, tok)
+			}
+			c.leaseToks = nil
+			c.mu.Unlock()
+			for _, tok := range toks {
+				c.lt.remove(tok)
+			}
+		}
 	}()
 	br := bufio.NewReader(c.nc)
 	if !c.handshake(br) {
@@ -152,7 +180,7 @@ func (c *conn) serve() {
 					c.mu.Unlock()
 					rcancel()
 				}()
-				c.handle(rctx, typ, reqID, body)
+				c.dispatch(rctx, typ, reqID, body)
 			}(typ, reqID, body)
 		}
 	}
@@ -187,6 +215,12 @@ func (c *conn) handshake(br *bufio.Reader) bool {
 		return false
 	}
 	c.store, c.storeName = store, name
+	c.sm = c.srv.metrics[name]
+	c.adm = c.srv.admissions[name]
+	c.lt = c.srv.leases[name]
+	if c.sm != nil {
+		c.sm.connections.Inc()
+	}
 	var e wire.Enc
 	e.U64(wire.ProtocolVersion)
 	return c.send(wire.THelloOK, reqID, e.Bytes()) == nil
@@ -217,9 +251,35 @@ func (c *conn) creditStream(target uint64, n int) {
 	}
 }
 
-// handle answers one request. Failures answer only this request (TErr under
-// its request id); the connection keeps serving.
-func (c *conn) handle(ctx context.Context, typ byte, reqID uint64, body []byte) {
+// dispatch runs one request through admission control and the metrics
+// envelope. Admission runs here — in the request's own goroutine, never the
+// connection read loop — so a queued request cannot block the Credit and
+// Cancel frames that unblock requests already running. The requests_total
+// increment happens before the handler (and thus before any response frame),
+// so a scrape taken after a client received all its responses matches the
+// client's request count exactly.
+func (c *conn) dispatch(ctx context.Context, typ byte, reqID uint64, body []byte) {
+	if err := c.adm.acquire(ctx); err != nil {
+		if c.sm != nil {
+			c.sm.rejected.Inc()
+		}
+		c.sendErr(reqID, err)
+		return
+	}
+	defer c.adm.release()
+	c.sm.admitted(typ)
+	start := time.Now()
+	err := c.handle(ctx, typ, reqID, body)
+	c.sm.done(typ, start, err)
+	if err != nil {
+		c.sendErr(reqID, err)
+	}
+}
+
+// handle answers one request, returning the error to answer it with (nil
+// when the handler already sent its response). Failures answer only this
+// request (TErr under its request id); the connection keeps serving.
+func (c *conn) handle(ctx context.Context, typ byte, reqID uint64, body []byte) error {
 	var err error
 	switch typ {
 	case wire.TDefine:
@@ -252,12 +312,12 @@ func (c *conn) handle(ctx context.Context, typ byte, reqID uint64, body []byte) 
 		err = c.handleExplain(reqID, body)
 	case wire.TRelations:
 		err = c.handleRelations(reqID)
+	case wire.TMetrics:
+		err = c.handleMetrics(reqID)
 	default:
 		err = fmt.Errorf("server: unknown frame type 0x%02x: %w", typ, wire.ErrProtocol)
 	}
-	if err != nil {
-		c.sendErr(reqID, err)
-	}
+	return err
 }
 
 // decodeErr wraps a payload-decoding failure as a protocol error.
@@ -443,10 +503,17 @@ func (c *conn) handleCount(ctx context.Context, reqID uint64, body []byte) error
 
 func (c *conn) handleBegin(reqID uint64) error {
 	t := c.store.ReadTxn()
+	var tok uint64
+	if c.lt != nil {
+		tok = c.lt.add()
+	}
 	c.mu.Lock()
 	c.nextTxn++
 	id := c.nextTxn
 	c.txns[id] = t
+	if c.leaseToks != nil {
+		c.leaseToks[id] = tok
+	}
 	c.mu.Unlock()
 	var e wire.Enc
 	e.U64(id)
@@ -462,7 +529,12 @@ func (c *conn) handleEnd(reqID uint64, body []byte) error {
 	c.mu.Lock()
 	_, ok := c.txns[id]
 	delete(c.txns, id)
+	tok, hadTok := c.leaseToks[id]
+	delete(c.leaseToks, id)
 	c.mu.Unlock()
+	if hadTok && c.lt != nil {
+		c.lt.remove(tok)
+	}
 	if !ok {
 		return fmt.Errorf("server: end of transaction %d: %w", id, wire.ErrUnknownTxn)
 	}
@@ -547,6 +619,20 @@ func (c *conn) handleExplain(reqID uint64, body []byte) error {
 	var e wire.Enc
 	e.Str(p.Explain().String())
 	return c.send(wire.TExplainOK, reqID, e.Bytes())
+}
+
+// handleMetrics answers with the process metrics registry rendered in the
+// Prometheus text format — the wire-level counterpart of the -metrics-addr
+// HTTP endpoint, so clients (graphjoin -connect -stats) can inspect a server
+// without a second listener.
+func (c *conn) handleMetrics(reqID uint64) error {
+	var sb strings.Builder
+	if err := metrics.Default().WritePrometheus(&sb); err != nil {
+		return err
+	}
+	var e wire.Enc
+	e.Str(sb.String())
+	return c.send(wire.TMetricsOK, reqID, e.Bytes())
 }
 
 func (c *conn) handleRelations(reqID uint64) error {

@@ -44,6 +44,11 @@ type Config struct {
 	// protocol errors). Request-level errors are not logged — they are
 	// answered to the client.
 	Logf func(format string, args ...any)
+	// Limits, keyed by store name, caps each store's concurrent requests
+	// (admission control). Stores without an entry are unlimited. Rejected
+	// requests fail fast with a wire error satisfying
+	// errors.Is(err, client.ErrOverloaded).
+	Limits map[string]Limits
 }
 
 // Server serves Store queries to remote clients. Create one with New or
@@ -52,6 +57,12 @@ type Config struct {
 type Server struct {
 	stores map[string]*repro.Store
 	logf   func(string, ...any)
+
+	// Per-store serving instrumentation and admission gates, fixed at New.
+	// admissions entries are nil for unlimited stores.
+	metrics    map[string]*storeMetrics
+	admissions map[string]*admission
+	leases     map[string]*leaseTracker
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -69,14 +80,21 @@ type Server struct {
 // server serves it — Store is safe for concurrent use.
 func New(cfg Config) *Server {
 	s := &Server{
-		stores:    make(map[string]*repro.Store, len(cfg.Stores)),
-		logf:      cfg.Logf,
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[*conn]struct{}),
+		stores:     make(map[string]*repro.Store, len(cfg.Stores)),
+		logf:       cfg.Logf,
+		metrics:    make(map[string]*storeMetrics, len(cfg.Stores)),
+		admissions: make(map[string]*admission, len(cfg.Stores)),
+		leases:     make(map[string]*leaseTracker, len(cfg.Stores)),
+		listeners:  make(map[net.Listener]struct{}),
+		conns:      make(map[*conn]struct{}),
 	}
 	for name, st := range cfg.Stores {
 		if st != nil {
 			s.stores[name] = st
+			s.metrics[name] = newStoreMetrics(name)
+			s.admissions[name] = newAdmission(name, cfg.Limits[name])
+			s.leases[name] = newLeaseTracker(name)
+			registerStoreGauges(name, st)
 		}
 	}
 	if s.logf == nil {

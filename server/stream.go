@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -53,26 +54,40 @@ func (st *stream) cancelClient() {
 }
 
 // acquire takes one chunk of credit, blocking until the client grants more,
-// cancels, or the request context ends.
-func (st *stream) acquire(ctx context.Context) error {
+// cancels, or the request context ends. It returns how long the producer was
+// blocked waiting (zero on the uncontended fast path), feeding the
+// credit-stall metric without timing the unblocked case.
+func (st *stream) acquire(ctx context.Context) (time.Duration, error) {
+	var blockedAt time.Time
 	for {
 		st.mu.Lock()
 		if st.cancelled {
 			st.mu.Unlock()
-			return errStreamCancelled
+			return stalledFor(blockedAt), errStreamCancelled
 		}
 		if st.credit > 0 {
 			st.credit--
 			st.mu.Unlock()
-			return nil
+			return stalledFor(blockedAt), nil
 		}
 		st.mu.Unlock()
+		if blockedAt.IsZero() {
+			blockedAt = time.Now()
+		}
 		select {
 		case <-st.notify:
 		case <-ctx.Done():
-			return ctx.Err()
+			return stalledFor(blockedAt), ctx.Err()
 		}
 	}
+}
+
+// stalledFor converts the blocked-at mark into a stall duration.
+func stalledFor(blockedAt time.Time) time.Duration {
+	if blockedAt.IsZero() {
+		return 0
+	}
+	return time.Since(blockedAt)
 }
 
 // handleRows serves one streaming Rows request: execute the prepared query
@@ -127,7 +142,9 @@ func (c *conn) handleRows(ctx context.Context, reqID uint64, body []byte) error 
 		if len(pending) == 0 {
 			return nil
 		}
-		if err := st.acquire(ctx); err != nil {
+		stall, err := st.acquire(ctx)
+		c.sm.stalled(stall)
+		if err != nil {
 			return err
 		}
 		var e wire.Enc

@@ -293,6 +293,12 @@ func (s *Store) AGMBound(q *Query) (float64, error) {
 // internal packages).
 func (s *Store) DB() *core.DB { return s.db }
 
+// OverlayDepth returns the total pending delta-log size across the store's
+// cached CSR indexes: tuples applied incrementally but not yet compacted
+// into base tries. The server exports it per store as
+// graphjoind_overlay_depth.
+func (s *Store) OverlayDepth() int { return s.db.OverlayDepth() }
+
 // isIdent reports whether name is a ParseQuery-compatible identifier.
 func isIdent(name string) bool {
 	if name == "" {
