@@ -2,7 +2,7 @@
 # jobs (.github/workflows/ci.yml), so "it passed make" and "it passed CI"
 # mean the same thing.
 
-.PHONY: help build test race lint integration bench bench-smoke bench-gate load-smoke load-gate clean
+.PHONY: help build test race lint integration bench bench-smoke bench-gate load-smoke load-gate fuzz-smoke clean
 
 help:
 	@echo "Available targets:"
@@ -17,6 +17,7 @@ help:
 	@echo "  make bench-gate   - Gate bench-smoke.txt against bench-smoke.old.txt"
 	@echo "  make load-smoke   - Boot graphjoind and drive it with graphjoinload"
 	@echo "  make load-gate    - Gate load-smoke.json against load-smoke.old.json"
+	@echo "  make fuzz-smoke   - Run every fuzz target for FUZZTIME (default 30s)"
 	@echo "  make clean        - Drop build artifacts and the test cache"
 	@echo ""
 
@@ -70,6 +71,16 @@ load-gate:
 	@test -f load-smoke.json || { echo "no current run: run 'make load-smoke' first"; exit 1; }
 	@scripts/loadgate.sh load-smoke.old.json load-smoke.json || { \
 		status=$$?; [ $$status -eq 3 ] && exit 0; exit $$status; }
+
+# The fuzz wall: every fuzz target runs for FUZZTIME (go test allows one
+# -fuzz per invocation, hence the sequential loop). Any panic or untyped
+# error found by a fuzzer fails the target.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/query
+	go test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/wire
+	go test -run '^$$' -fuzz '^FuzzDecodeQuery$$' -fuzztime $(FUZZTIME) ./internal/wire
+	go test -run '^$$' -fuzz '^FuzzDecodePayloads$$' -fuzztime $(FUZZTIME) ./internal/wire
 
 clean:
 	rm -f bench-smoke.txt bench-smoke.old.txt load-smoke.json load-smoke.old.json *.prof

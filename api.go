@@ -32,9 +32,16 @@ var (
 	// ErrUnboundVar reports a query variable not covered by the supplied
 	// attribute order (or not bound by any atom).
 	ErrUnboundVar = core.ErrUnboundVar
-	// ErrUnboundHeadVar reports a head variable of a rule-form query
-	// ("q(a, b) :- ...") that no body atom binds.
+	// ErrUnboundHeadVar reports a head variable or aggregated variable of a
+	// rule-form query ("q(a, b) :- ...") that no body atom binds.
 	ErrUnboundHeadVar = query.ErrUnboundHeadVar
+	// ErrUnboundPredVar reports a comparison predicate over a variable no
+	// body atom binds.
+	ErrUnboundPredVar = query.ErrUnboundPredVar
+	// ErrUnsupportedQuery reports an extended query (projection, predicates,
+	// or aggregates) prepared for an engine that executes plain natural
+	// joins only; use LFTJ or MS.
+	ErrUnsupportedQuery = engine.ErrUnsupportedQuery
 	// ErrUnknownAlgorithm reports an Options.Algorithm outside the
 	// registered set; Prepare validates eagerly, before engine selection.
 	ErrUnknownAlgorithm = engine.ErrUnknownAlgorithm
@@ -79,6 +86,11 @@ const (
 // constructors below or parse the paper's Datalog syntax with ParseQuery.
 type Query = query.Query
 
+// SyntaxError is the typed parse failure carrying the byte offset into the
+// Datalog source and, when known, the enclosing atom's relation name;
+// unwrap with errors.As to report positions to users.
+type SyntaxError = query.SyntaxError
+
 // Pattern constructors mirroring the paper's §5.1 benchmark queries.
 var (
 	// Triangles is the 3-clique query (each triangle counted once).
@@ -100,7 +112,10 @@ var (
 // ParseQuery parses the Datalog-style syntax of §5.1, e.g.
 // "v1(a), v2(d), edge(a, b), edge(b, c), edge(c, d)". Relations available
 // on a Graph: "edge" (symmetric), "fwd" (u<v orientation), "v1".."v4"
-// (node samples).
+// (node samples). Rule heads may project and aggregate
+// ("deg(a, count(b)) :- edge(a, b)"), atom terms may be integer constants,
+// and bodies may carry comparison predicates ("a < b", "x >= 10");
+// malformed input fails with a positioned *query.SyntaxError.
 func ParseQuery(name, src string) (*Query, error) { return query.Parse(name, src) }
 
 // Graph is an undirected graph plus the benchmark database schema derived
@@ -426,8 +441,9 @@ func Count(ctx context.Context, g *Graph, q *Query, opts Options) (int64, error)
 	return p.Count(ctx)
 }
 
-// Enumerate streams result tuples, with bindings in q.Vars() order; emit
-// returns false to stop early. It is a one-shot convenience over Prepare.
+// Enumerate streams result tuples in output order (head variables then any
+// aggregate values; q.Vars() order for plain queries); emit returns false to
+// stop early. It is a one-shot convenience over Prepare.
 func Enumerate(ctx context.Context, g *Graph, q *Query, opts Options, emit func([]int64) bool) error {
 	p, err := g.Prepare(q, opts)
 	if err != nil {

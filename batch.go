@@ -15,8 +15,9 @@ type Request struct {
 	// genericjoin — Batch runs inside a read transaction, and engines
 	// without a plan representation fail their request with ErrTxnUnplanned).
 	Prepared *Prepared
-	// Rows, when true, collects the result tuples (bindings in q.Vars()
-	// order) into the Result as well as counting them. Leave false for
+	// Rows, when true, collects the result tuples (in output order — the
+	// head variables then any aggregate values) into the Result as well as
+	// counting them. Leave false for
 	// count-only workloads — collection materializes the whole result.
 	Rows bool
 }

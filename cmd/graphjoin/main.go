@@ -36,6 +36,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -160,11 +161,22 @@ func run() error {
 	var err error
 	if *datalog != "" {
 		q, err = qr.ParseQuery("adhoc", *datalog)
+		if err != nil {
+			var se *repro.SyntaxError
+			if errors.As(err, &se) {
+				loc := fmt.Sprintf("offset %d", se.Offset)
+				if se.Atom != "" {
+					loc = fmt.Sprintf("atom %q, offset %d", se.Atom, se.Offset)
+				}
+				return fmt.Errorf("-datalog %q: syntax error at %s: %s", *datalog, loc, se.Msg)
+			}
+			return err
+		}
 	} else {
 		q, err = cli.NamedQuery(*queryName)
-	}
-	if err != nil {
-		return err
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("%s; query %s: %s\n", desc, q.Name, q)

@@ -4,14 +4,14 @@
 // sizing admission budgets by hand.
 //
 // It opens -conns connections to one store, each running a weighted mix of
-// Count, streaming Rows, and Apply (write) requests against a relation the
-// harness defines and loads itself, for -duration. The summary is one JSON
-// line on stdout: achieved QPS, client-side latency quantiles (p50/p95/p99),
-// and error counts, with overloaded rejections (admission control) broken
-// out from other failures.
+// Count, streaming Rows, Apply (write), and streaming Aggregate
+// (group-by/count) requests against a relation the harness defines and loads
+// itself, for -duration. The summary is one JSON line on stdout: achieved
+// QPS, client-side latency quantiles (p50/p95/p99), and error counts, with
+// overloaded rejections (admission control) broken out from other failures.
 //
 //	graphjoinload -addr 127.0.0.1:7474 -conns 8 -duration 10s
-//	graphjoinload -addr 127.0.0.1:7474 -mix 'count=6,rows=3,apply=1'
+//	graphjoinload -addr 127.0.0.1:7474 -mix 'count=6,rows=3,apply=1,aggregate=1'
 //
 // With -metrics-url the harness scrapes the server's Prometheus endpoint
 // before and after the run and cross-checks the server's requests_total
@@ -93,7 +93,7 @@ func run() error {
 		metricsURL = flag.String("metrics-url", "", "server /metrics URL; enables the requests_total cross-check")
 		conns      = flag.Int("conns", 4, "concurrent connections (one worker each)")
 		duration   = flag.Duration("duration", 5*time.Second, "how long to drive load")
-		mix        = flag.String("mix", "count=6,rows=3,apply=1", "workload weights: count,rows,apply")
+		mix        = flag.String("mix", "count=5,rows=3,apply=1,aggregate=1", "workload weights: count,rows,apply,aggregate")
 		relName    = flag.String("relation", "loadtest_edge", "relation the harness defines, loads, and queries")
 		relNodes   = flag.Int("dataset-nodes", 500, "node id space of the harness-loaded edge list")
 		relEdges   = flag.Int("dataset-edges", 2000, "edges in the harness-loaded edge list")
@@ -140,8 +140,16 @@ func run() error {
 		return err
 	}
 	ledger.add("parse", 1)
+	// The aggregate op streams the two-hop degree profile — a grouped
+	// count over the same join the other ops run.
+	aggQ, err := setup.ParseQuery("loadagg",
+		fmt.Sprintf("loadagg(a, count(c)) :- %s(a,b), %s(b,c)", *relName, *relName))
+	if err != nil {
+		return err
+	}
+	ledger.add("parse", 1)
 
-	// One worker per connection, each with its own prepared handle.
+	// One worker per connection, each with its own prepared handles.
 	workers := make([]*worker, *conns)
 	for i := range workers {
 		c, err := client.Dial(ctx, *addr, opts...)
@@ -154,9 +162,15 @@ func run() error {
 			return fmt.Errorf("conn %d: prepare: %w", i, err)
 		}
 		ledger.add("prepare", 1)
+		pa, err := c.Prepare(aggQ, repro.Options{Algorithm: repro.Algorithm(*engine)})
+		if err != nil {
+			return fmt.Errorf("conn %d: prepare aggregate: %w", i, err)
+		}
+		ledger.add("prepare", 1)
 		workers[i] = &worker{
 			store:     c,
 			prepared:  p,
+			aggregate: pa,
 			rng:       rand.New(rand.NewSource(*seed + int64(i)*7919)),
 			weights:   weights,
 			relName:   *relName,
@@ -183,6 +197,9 @@ func run() error {
 	// close_prepared requests land inside the measured window.
 	for _, w := range workers {
 		if err := w.prepared.Close(); err == nil {
+			ledger.add("close_prepared", 1)
+		}
+		if err := w.aggregate.Close(); err == nil {
 			ledger.add("close_prepared", 1)
 		}
 	}
@@ -261,8 +278,9 @@ func setupRelation(c *client.Store, led *ledger, name string, nodes, edges int, 
 type worker struct {
 	store     *client.Store
 	prepared  repro.PreparedQuery
+	aggregate repro.PreparedQuery
 	rng       *rand.Rand
-	weights   [3]int // count, rows, apply
+	weights   [4]int // count, rows, apply, aggregate
 	relName   string
 	relNodes  int
 	rowsLimit int
@@ -275,7 +293,7 @@ type worker struct {
 // already be admitted and counted server-side, which would break the exact
 // requests_total cross-check.
 func (w *worker) drive(runCtx context.Context) {
-	total := w.weights[0] + w.weights[1] + w.weights[2]
+	total := w.weights[0] + w.weights[1] + w.weights[2] + w.weights[3]
 	opCtx := context.Background()
 	for runCtx.Err() == nil {
 		pick := w.rng.Intn(total)
@@ -293,10 +311,17 @@ func (w *worker) drive(runCtx context.Context) {
 				n++
 				return n < w.rowsLimit
 			})
-		default:
+		case pick < w.weights[0]+w.weights[1]+w.weights[2]:
 			typ = "apply"
 			err = w.store.Apply(w.relName,
 				[][]int64{{w.rng.Int63n(int64(w.relNodes)), w.rng.Int63n(int64(w.relNodes))}}, nil)
+		default:
+			typ = "aggregate"
+			n := 0
+			err = w.aggregate.Enumerate(opCtx, func([]int64) bool {
+				n++
+				return n < w.rowsLimit
+			})
 		}
 		w.results = append(w.results, opResult{
 			typ:        typ,
@@ -402,10 +427,10 @@ func effectiveStore(name string) string {
 	return name
 }
 
-// parseMix turns "count=6,rows=3,apply=1" into weights.
-func parseMix(s string) ([3]int, error) {
-	w := [3]int{}
-	idx := map[string]int{"count": 0, "rows": 1, "apply": 2}
+// parseMix turns "count=5,rows=3,apply=1,aggregate=1" into weights.
+func parseMix(s string) ([4]int, error) {
+	w := [4]int{}
+	idx := map[string]int{"count": 0, "rows": 1, "apply": 2, "aggregate": 3}
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -414,7 +439,7 @@ func parseMix(s string) ([3]int, error) {
 		k, v, ok := strings.Cut(part, "=")
 		i, known := idx[strings.TrimSpace(k)]
 		if !ok || !known {
-			return w, fmt.Errorf("bad -mix element %q (want count=N,rows=N,apply=N)", part)
+			return w, fmt.Errorf("bad -mix element %q (want count=N,rows=N,apply=N,aggregate=N)", part)
 		}
 		n, err := strconv.Atoi(strings.TrimSpace(v))
 		if err != nil || n < 0 {
@@ -422,7 +447,7 @@ func parseMix(s string) ([3]int, error) {
 		}
 		w[i] = n
 	}
-	if w[0]+w[1]+w[2] == 0 {
+	if w[0]+w[1]+w[2]+w[3] == 0 {
 		return w, fmt.Errorf("-mix has no positive weights")
 	}
 	return w, nil

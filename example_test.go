@@ -180,3 +180,64 @@ func ExampleStore_ReadTxn() {
 	// txn reads agree: true
 	// fresh txn sees the write: true
 }
+
+// ExampleStore_projection shows a projecting rule head: only the named
+// variables are emitted, in head order, with duplicates eliminated inside
+// the join rather than in a post-pass.
+func ExampleStore_projection() {
+	s := repro.NewStore()
+	if err := s.DefineRelation("edge", 2); err != nil {
+		panic(err)
+	}
+	// A diamond: 0 reaches 3 along two paths.
+	if err := s.Load("edge", [][]int64{{0, 1}, {0, 2}, {1, 3}, {2, 3}}); err != nil {
+		panic(err)
+	}
+	// Without the head this join has two results (one per middle node);
+	// the projection collapses them to the distinct (start, end) pairs.
+	q, err := s.ParseQuery("reach2", "reach2(a, c) :- edge(a, b), edge(b, c)")
+	if err != nil {
+		panic(err)
+	}
+	p, err := s.Prepare(q, repro.Options{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	for row := range p.Rows(context.Background()) {
+		fmt.Println(row)
+	}
+	// Output:
+	// [0 3]
+}
+
+// ExampleStore_aggregation shows a streaming group-by: aggregate head
+// terms fold count/sum/min/max per group as rows stream out of the join
+// in grouped order — no materialization. A comparison predicate filters
+// the matched bindings first, pushed into the index as a seek bound.
+func ExampleStore_aggregation() {
+	s := repro.NewStore()
+	if err := s.DefineRelation("sale", 2); err != nil {
+		panic(err)
+	}
+	// (customer, amount) purchase facts.
+	if err := s.Load("sale", [][]int64{
+		{1, 30}, {1, 70}, {2, 5}, {2, 40}, {2, 90}, {3, 8},
+	}); err != nil {
+		panic(err)
+	}
+	q, err := s.ParseQuery("spend",
+		"spend(c, count(v), sum(v), max(v)) :- sale(c, v), v >= 10")
+	if err != nil {
+		panic(err)
+	}
+	p, err := s.Prepare(q, repro.Options{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	for row := range p.Rows(context.Background()) {
+		fmt.Printf("customer %d: n=%d total=%d max=%d\n", row[0], row[1], row[2], row[3])
+	}
+	// Output:
+	// customer 1: n=2 total=100 max=70
+	// customer 2: n=2 total=130 max=90
+}

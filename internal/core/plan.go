@@ -32,6 +32,9 @@ type Plan struct {
 	// BetaCyclic records whether the query is β-cyclic (drives the §4.10
 	// parallel-granularity default and Minesweeper's skeleton split).
 	BetaCyclic bool
+	// Push carries the compiled selection bounds, residual predicates, and
+	// projection prefix of an extended query; nil for plain joins.
+	Push *Pushdown
 }
 
 // reads reports whether the plan binds an index over the named relation.
@@ -50,7 +53,9 @@ func (p *Plan) reads(rel string) bool {
 // change (e.g. Minesweeper with the skeleton idea disabled). The query's
 // variable order is part of the key: two queries with the same atom list but
 // different output orders (a parsed head reorders Vars) resolve different
-// default GAOs and must not share a compilation.
+// default GAOs and must not share a compilation. Extended queries render
+// their head, inlined constants, predicates, and aggregates into q.String(),
+// so projection, selection, and aggregation are all key dimensions.
 func PlanKey(algorithm, variant string, backend Backend, userGAO []string, q *query.Query) string {
 	var b strings.Builder
 	b.WriteString(algorithm)
@@ -138,6 +143,10 @@ func NewPlan(q *query.Query, db *DB, algorithm string, gao []string, inSkel []bo
 			return nil, fmt.Errorf("core: atom %s arity mismatch with its %d-ary index", q.Atoms[i], a.Index.Arity())
 		}
 	}
+	push, err := CompilePushdown(q, gao)
+	if err != nil {
+		return nil, err
+	}
 	sc.Add(Stats{IndexBindings: int64(len(atoms))})
 	return &Plan{
 		Query:      q,
@@ -147,5 +156,6 @@ func NewPlan(q *query.Query, db *DB, algorithm string, gao []string, inSkel []bo
 		Atoms:      atoms,
 		InSkel:     inSkel,
 		BetaCyclic: betaCyclic,
+		Push:       push,
 	}, nil
 }

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// VarBound is a half-open interval [Lo, Hi) of admissible values for one GAO
+// depth, compiled from the query's constant comparison predicates. Engines
+// push it into the trie cursors as a seek bound (SeekGE to Lo, stop at Hi)
+// instead of post-filtering.
+type VarBound struct {
+	Lo, Hi int64
+}
+
+// Trivial reports whether the bound admits the whole storage domain.
+func (b VarBound) Trivial() bool { return b.Lo <= 0 && b.Hi >= relation.PosInf }
+
+// ResidualPred is a comparison predicate that cannot be expressed as a
+// per-depth seek bound (it spans two variables, or is a disequality),
+// compiled to GAO positions. It is checked as soon as both sides are bound.
+type ResidualPred struct {
+	LPos int         // GAO position of the left variable
+	Op   query.CmpOp // comparison operator
+	RPos int         // GAO position of the right variable, -1 for a constant
+	RVal int64       // constant right-hand side when RPos == -1
+	// Depth is the deepest GAO position the predicate reads; the binding
+	// prefix [0..Depth] decides it.
+	Depth int
+}
+
+// Eval evaluates the predicate against a (partial) binding in GAO order.
+// binding must cover Depth.
+func (r ResidualPred) Eval(binding []int64) bool {
+	l := binding[r.LPos]
+	rv := r.RVal
+	if r.RPos >= 0 {
+		rv = binding[r.RPos]
+	}
+	switch r.Op {
+	case query.OpEq:
+		return l == rv
+	case query.OpNe:
+		return l != rv
+	case query.OpLt:
+		return l < rv
+	case query.OpLe:
+		return l <= rv
+	case query.OpGt:
+		return l > rv
+	case query.OpGe:
+		return l >= rv
+	}
+	return false
+}
+
+// Pushdown is the compiled selection/projection shape of an extended query
+// under a concrete GAO. A nil *Pushdown means plain natural-join execution.
+type Pushdown struct {
+	// Bounds[d] restricts GAO depth d to [Lo, Hi); nil when every depth is
+	// unrestricted.
+	Bounds []VarBound
+	// Residuals are the predicates left to evaluate during enumeration,
+	// ordered by Depth so engines can check each at the shallowest level
+	// that binds it.
+	Residuals []ResidualPred
+	// Prefix, when non-zero, restricts emission to the leading Prefix GAO
+	// positions with early duplicate elimination: once a binding of the
+	// prefix is emitted, the engine skips the rest of that prefix's subtree
+	// instead of enumerating (and deduplicating) full bindings.
+	Prefix int
+}
+
+// ResidualsAt returns the residual predicates decided exactly at depth d.
+func (ps *Pushdown) ResidualsAt(d int) []ResidualPred {
+	if ps == nil {
+		return nil
+	}
+	lo := 0
+	for lo < len(ps.Residuals) && ps.Residuals[lo].Depth < d {
+		lo++
+	}
+	hi := lo
+	for hi < len(ps.Residuals) && ps.Residuals[hi].Depth == d {
+		hi++
+	}
+	return ps.Residuals[lo:hi]
+}
+
+func incSat(v int64) int64 {
+	if v == math.MaxInt64 {
+		return v
+	}
+	return v + 1
+}
+
+// CompilePushdown compiles a query's predicates and projection against a
+// concrete GAO. Constant comparisons other than != become per-depth seek
+// bounds; disequalities and variable-variable comparisons become residual
+// filters. Projection (including the implicit projection of aggregate
+// queries) requires the GAO to lead with the query's output prefix in
+// execution order — that prefix ordering is what makes early duplicate
+// elimination a local prefix-advance and keeps the emission order identical
+// across engines.
+func CompilePushdown(q *query.Query, gao []string) (*Pushdown, error) {
+	if !q.Extended() {
+		return nil, nil
+	}
+	pos := make(map[string]int, len(gao))
+	for i, v := range gao {
+		pos[v] = i
+	}
+	bounds := make([]VarBound, len(gao))
+	for i := range bounds {
+		bounds[i] = VarBound{Lo: 0, Hi: relation.PosInf}
+	}
+	var residuals []ResidualPred
+	for _, p := range q.Preds {
+		lp, ok := pos[p.Left]
+		if !ok {
+			return nil, fmt.Errorf("core: predicate %s over variable outside the GAO %v: %w", p, gao, ErrUnboundVar)
+		}
+		if !p.IsVar {
+			if p.Op == query.OpNe {
+				residuals = append(residuals, ResidualPred{LPos: lp, Op: p.Op, RPos: -1, RVal: p.Const, Depth: lp})
+				continue
+			}
+			b := &bounds[lp]
+			switch p.Op {
+			case query.OpEq:
+				b.Lo = max(b.Lo, p.Const)
+				b.Hi = min(b.Hi, incSat(p.Const))
+			case query.OpLt:
+				b.Hi = min(b.Hi, p.Const)
+			case query.OpLe:
+				b.Hi = min(b.Hi, incSat(p.Const))
+			case query.OpGt:
+				b.Lo = max(b.Lo, incSat(p.Const))
+			case query.OpGe:
+				b.Lo = max(b.Lo, p.Const)
+			default:
+				return nil, fmt.Errorf("core: unknown comparison operator %q", p.Op)
+			}
+			continue
+		}
+		rp, ok := pos[p.Right]
+		if !ok {
+			return nil, fmt.Errorf("core: predicate %s over variable outside the GAO %v: %w", p, gao, ErrUnboundVar)
+		}
+		if !query.ValidOp(p.Op) {
+			return nil, fmt.Errorf("core: unknown comparison operator %q", p.Op)
+		}
+		residuals = append(residuals, ResidualPred{LPos: lp, Op: p.Op, RPos: rp, Depth: max(lp, rp)})
+	}
+	any := false
+	for _, b := range bounds {
+		if !b.Trivial() {
+			any = true
+			break
+		}
+	}
+	if !any {
+		bounds = nil
+	}
+	prefix := 0
+	if q.PrefixOrdered() {
+		vars := q.Vars()
+		for i := 0; i < q.Prefix(); i++ {
+			if gao[i] != vars[i] {
+				return nil, fmt.Errorf("core: projected/aggregate query %q requires a GAO leading with its output prefix %v, got %v", q.Name, vars[:q.Prefix()], gao)
+			}
+		}
+		if q.Projected() {
+			prefix = q.Prefix()
+		}
+	}
+	if bounds == nil && residuals == nil && prefix == 0 {
+		return nil, nil
+	}
+	// Order residuals by depth so engines can slice them per level.
+	for i := 1; i < len(residuals); i++ {
+		for j := i; j > 0 && residuals[j-1].Depth > residuals[j].Depth; j-- {
+			residuals[j-1], residuals[j] = residuals[j], residuals[j-1]
+		}
+	}
+	return &Pushdown{Bounds: bounds, Residuals: residuals, Prefix: prefix}, nil
+}

@@ -58,6 +58,12 @@ func Algorithms() []Algorithm {
 // API callers branch with errors.Is instead of matching message text.
 var ErrUnknownAlgorithm = errors.New("unknown algorithm")
 
+// ErrUnsupportedQuery reports an extended query (projection, comparison
+// predicates, or aggregates) prepared for an algorithm that only executes
+// plain natural joins; only LFTJ and Minesweeper push the extended features
+// into their trie traversal.
+var ErrUnsupportedQuery = errors.New("query features unsupported by this algorithm")
+
 // ParseAlgorithm resolves a user-supplied algorithm name; empty selects LFTJ
 // (the default engine throughout the API).
 func ParseAlgorithm(s string) (Algorithm, error) {

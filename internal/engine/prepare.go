@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/hypergraph"
 	"repro/internal/minesweeper"
@@ -29,6 +31,10 @@ func Prepare(opts Options, q *query.Query, db *core.DB) (core.Engine, *core.Plan
 		return nil, nil, err
 	}
 	opts.Backend = backend
+	if q.Extended() && alg != LFTJ && alg != MS {
+		return nil, nil, fmt.Errorf("engine: query %q uses projection, predicates, or aggregates: %w (%q supports plain joins only; use lftj or ms)",
+			q.Name, ErrUnsupportedQuery, alg)
+	}
 	switch opts.Algorithm {
 	case LFTJ, MS, GenericJoin:
 		plan, err := CompilePlan(opts, q, db)
@@ -73,6 +79,13 @@ func CompilePlan(opts Options, q *query.Query, db *core.DB) (*core.Plan, error) 
 		}
 		if opts.MS.DisableSkeleton {
 			variant = "noskel"
+		}
+		if userGAO == nil && q.PrefixOrdered() {
+			// Projected/aggregate queries must enumerate grouped by the
+			// output prefix; pin Minesweeper to the query's own variable
+			// order instead of the hypergraph-chosen one. (LFTJ's default
+			// GAO is already q.Vars().)
+			userGAO = q.Vars()
 		}
 	}
 	key := core.PlanKey(string(alg), variant, backend, userGAO, q)

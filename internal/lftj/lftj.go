@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/query"
+	"repro/internal/relation"
 )
 
 // Range restricts the first GAO variable to [Lo, Hi); the parallel executor
@@ -59,8 +60,9 @@ func (e Engine) Count(ctx context.Context, q *query.Query, db *core.DB) (int64, 
 func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit func([]int64) bool) error {
 	var gao []string
 	var atoms []core.AtomIndex
+	var push *core.Pushdown
 	if p := e.Opts.Plan; p != nil {
-		gao, atoms = p.GAO, p.Atoms
+		gao, atoms, push = p.GAO, p.Atoms, p.Push
 	} else {
 		if err := q.Validate(); err != nil {
 			return err
@@ -82,6 +84,10 @@ func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit
 				return fmt.Errorf("lftj: atom %s arity mismatch with its %d-ary index", q.Atoms[i], a.Index.Arity())
 			}
 		}
+		push, err = core.CompilePushdown(q, gao)
+		if err != nil {
+			return err
+		}
 	}
 	// Pin overlay-backed indexes to one snapshot for this whole run, so a
 	// concurrent DB.ApplyDelta can never mix two index states mid-join.
@@ -97,7 +103,36 @@ func (e Engine) Enumerate(ctx context.Context, q *query.Query, db *core.DB, emit
 		binding: make([]int64, len(gao)),
 		emit:    emit,
 		tick:    core.NewTicker(ctx),
-		rng:     e.Opts.FirstVarRange,
+	}
+	// Fold the compiled seek bounds and the parallel job's first-variable
+	// range into one per-depth [lo, hi) table; residual predicates are
+	// bucketed by the depth that decides them.
+	if push != nil {
+		ex.prefix = push.Prefix
+		if push.Bounds != nil {
+			ex.lo = make([]int64, len(gao))
+			ex.hi = make([]int64, len(gao))
+			for d, b := range push.Bounds {
+				ex.lo[d], ex.hi[d] = b.Lo, b.Hi
+			}
+		}
+		if len(push.Residuals) > 0 {
+			ex.resAt = make([][]core.ResidualPred, len(gao))
+			for d := range ex.resAt {
+				ex.resAt[d] = push.ResidualsAt(d)
+			}
+		}
+	}
+	if rng := e.Opts.FirstVarRange; rng != nil {
+		if ex.lo == nil {
+			ex.lo = make([]int64, len(gao))
+			ex.hi = make([]int64, len(gao))
+			for d := range ex.hi {
+				ex.hi[d] = relation.PosInf
+			}
+		}
+		ex.lo[0] = max(ex.lo[0], rng.Lo)
+		ex.hi[0] = min(ex.hi[0], rng.Hi)
 	}
 	// outPerm maps GAO position to q.Vars() position for emitted tuples.
 	idx := q.VarIndex()
@@ -133,10 +168,26 @@ type exec struct {
 	outPerm []int
 	emit    func([]int64) bool
 	tick    *core.Ticker
-	rng     *Range
+	lo, hi  []int64               // per-depth seek bounds [lo, hi); nil when unbounded
+	resAt   [][]core.ResidualPred // residual predicates decided at each depth
+	prefix  int                   // >0: emit only the leading prefix depths, deduped
 	out     []int64
 	outputs int64
 	seeks   int64
+}
+
+// residualsOK evaluates the residual predicates decided at depth d against
+// the binding prefix built so far.
+func (ex *exec) residualsOK(d int) bool {
+	if ex.resAt == nil {
+		return true
+	}
+	for _, r := range ex.resAt[d] {
+		if !r.Eval(ex.binding) {
+			return false
+		}
+	}
+	return true
 }
 
 // run executes the triejoin at GAO depth d; it returns false when
@@ -155,8 +206,8 @@ func (ex *exec) run(d int) (bool, error) {
 	if !lf.init() {
 		return true, nil
 	}
-	if d == 0 && ex.rng != nil {
-		if !lf.seek(ex.rng.Lo) {
+	if ex.lo != nil && ex.lo[d] > 0 {
+		if !lf.seek(ex.lo[d]) {
 			return true, nil
 		}
 	}
@@ -165,12 +216,29 @@ func (ex *exec) run(d int) (bool, error) {
 			return false, err
 		}
 		key := lf.key
-		if d == 0 && ex.rng != nil && key >= ex.rng.Hi {
+		if ex.hi != nil && key >= ex.hi[d] {
 			return true, nil
 		}
 		ex.binding[d] = key
+		if !ex.residualsOK(d) {
+			if !lf.next() {
+				return true, nil
+			}
+			continue
+		}
 		if d == ex.n-1 {
 			if !ex.emitTuple() {
+				return false, nil
+			}
+		} else if ex.prefix > 0 && d == ex.prefix-1 {
+			// Deepest projected level: one existence probe below the prefix
+			// replaces the full sub-enumeration — this is the early duplicate
+			// elimination, and it emits each prefix exactly once.
+			found, err := ex.exists(d + 1)
+			if err != nil {
+				return false, err
+			}
+			if found && !ex.emitPrefix() {
 				return false, nil
 			}
 		} else {
@@ -185,6 +253,52 @@ func (ex *exec) run(d int) (bool, error) {
 	}
 }
 
+// exists reports whether any full binding extends the current prefix through
+// depths d..n-1, respecting bounds and residual predicates; it stops at the
+// first witness.
+func (ex *exec) exists(d int) (bool, error) {
+	its := ex.byVar[d]
+	for _, it := range its {
+		it.Open()
+	}
+	defer func() {
+		for _, it := range its {
+			it.Up()
+		}
+	}()
+	lf := leapfrog{its: its, seeks: &ex.seeks}
+	if !lf.init() {
+		return false, nil
+	}
+	if ex.lo != nil && ex.lo[d] > 0 {
+		if !lf.seek(ex.lo[d]) {
+			return false, nil
+		}
+	}
+	for {
+		if err := ex.tick.Tick(); err != nil {
+			return false, err
+		}
+		key := lf.key
+		if ex.hi != nil && key >= ex.hi[d] {
+			return false, nil
+		}
+		ex.binding[d] = key
+		if ex.residualsOK(d) {
+			if d == ex.n-1 {
+				return true, nil
+			}
+			found, err := ex.exists(d + 1)
+			if err != nil || found {
+				return found, err
+			}
+		}
+		if !lf.next() {
+			return false, nil
+		}
+	}
+}
+
 func (ex *exec) emitTuple() bool {
 	ex.outputs++
 	if ex.out == nil {
@@ -193,6 +307,18 @@ func (ex *exec) emitTuple() bool {
 	for g, v := range ex.outPerm {
 		ex.out[v] = ex.binding[g]
 	}
+	return ex.emit(ex.out)
+}
+
+// emitPrefix emits the projected prefix. The planner guarantees the leading
+// GAO positions are the query's output prefix in execution order, so no
+// permutation is needed.
+func (ex *exec) emitPrefix() bool {
+	ex.outputs++
+	if ex.out == nil {
+		ex.out = make([]int64, ex.prefix)
+	}
+	copy(ex.out, ex.binding[:ex.prefix])
 	return ex.emit(ex.out)
 }
 

@@ -86,6 +86,8 @@ type exec struct {
 	out     []int64
 	counter *counter
 	opts    Options
+	push    *core.Pushdown
+	prefix  int // >0: emit only the leading prefix columns, deduped
 	total   int64
 	stats   Stats
 }
@@ -94,8 +96,9 @@ func (e Engine) run(ctx context.Context, q *query.Query, db *core.DB, emit func(
 	var gao []string
 	var inSkel []bool
 	var atoms []core.AtomIndex
+	var push *core.Pushdown
 	if p := e.Opts.Plan; p != nil {
-		gao, atoms = p.GAO, p.Atoms
+		gao, atoms, push = p.GAO, p.Atoms, p.Push
 		inSkel = p.InSkel
 		if inSkel == nil {
 			inSkel = make([]bool, len(q.Atoms))
@@ -107,12 +110,23 @@ func (e Engine) run(ctx context.Context, q *query.Query, db *core.DB, emit func(
 		if err := q.Validate(); err != nil {
 			return 0, err
 		}
+		opts := e.Opts
+		if q.PrefixOrdered() && opts.GAO == nil {
+			// Projected/aggregate queries must enumerate grouped by the
+			// output prefix: pin the GAO to the query's own variable order
+			// instead of the hypergraph-chosen one.
+			opts.GAO = q.Vars()
+		}
 		var err error
-		gao, inSkel, _, err = resolvePlan(q, e.Opts)
+		gao, inSkel, _, err = resolvePlan(q, opts)
 		if err != nil {
 			return 0, err
 		}
 		atoms, err = core.BindAtoms(q, db, gao, e.Opts.Backend)
+		if err != nil {
+			return 0, err
+		}
+		push, err = core.CompilePushdown(q, gao)
 		if err != nil {
 			return 0, err
 		}
@@ -148,6 +162,10 @@ func (e Engine) run(ctx context.Context, q *query.Query, db *core.DB, emit func(
 		tick:    core.NewTicker(ctx),
 		emit:    emit,
 		opts:    e.Opts,
+		push:    push,
+	}
+	if push != nil {
+		ex.prefix = push.Prefix
 	}
 	idx := q.VarIndex()
 	ex.outPerm = make([]int, len(gao))
@@ -162,8 +180,26 @@ func (e Engine) run(ctx context.Context, q *query.Query, db *core.DB, emit func(
 			ex.cds.InsConstraint(Constraint{Col: 0, Lo: r.Hi - 1, Hi: posInf})
 		}
 	}
+	if push != nil {
+		// Seed the CDS with the compiled seek bounds: a lower bound lo at
+		// column c covers [-1, lo-1], an upper bound hi covers [hi, +inf).
+		// ComputeFreeTuple then never proposes a value outside [lo, hi), so
+		// the gap probes start inside the admissible band — the Minesweeper
+		// form of cursor pushdown.
+		for c, b := range push.Bounds {
+			if b.Lo > 0 {
+				ex.cds.InsConstraint(Constraint{Col: c, Lo: -2, Hi: b.Lo})
+			}
+			if b.Hi < posInf {
+				ex.cds.InsConstraint(Constraint{Col: c, Lo: b.Hi - 1, Hi: posInf})
+			}
+		}
+	}
 	ex.cds.Tick = ex.tick.Tick
-	if emit == nil && !e.Opts.DisableCountMemo {
+	// The count-mode subtree reuse assumes plain full-binding semantics;
+	// residual predicates and projection dedup both break its memo, so
+	// extended queries always take the exact path.
+	if emit == nil && !e.Opts.DisableCountMemo && push == nil {
 		ex.counter = newCounter(ex, q, gao)
 	}
 	err := ex.loop()
@@ -306,8 +342,26 @@ func (ex *exec) loop() error {
 			break
 		}
 		if !gapFound {
+			if !ex.residualsOK(t) {
+				// Verified present in every atom but rejected by a residual
+				// predicate: step past it without reporting.
+				ex.cds.AdvanceOutput()
+				continue
+			}
 			if !ex.output(t) {
 				break
+			}
+			if ex.prefix > 0 {
+				// Early duplicate elimination: every deeper tuple shares the
+				// just-emitted output prefix, so skip the whole prefix
+				// subtree instead of enumerating (and deduplicating) it.
+				adv := append([]int64(nil), t...)
+				adv[ex.prefix-1]++
+				for i := ex.prefix; i < ex.n; i++ {
+					adv[i] = -1
+				}
+				ex.cds.SetFrontier(adv)
+				continue
 			}
 			ex.cds.AdvanceOutput()
 			continue
@@ -325,6 +379,20 @@ func (ex *exec) loop() error {
 	return nil
 }
 
+// residualsOK evaluates the residual predicates against a full free tuple in
+// GAO order.
+func (ex *exec) residualsOK(t []int64) bool {
+	if ex.push == nil {
+		return true
+	}
+	for _, r := range ex.push.Residuals {
+		if !r.Eval(t) {
+			return false
+		}
+	}
+	return true
+}
+
 // output reports the free tuple (verified to be in every atom). It returns
 // false to stop enumeration.
 func (ex *exec) output(t []int64) bool {
@@ -335,6 +403,15 @@ func (ex *exec) output(t []int64) bool {
 	}
 	if ex.emit == nil {
 		return true
+	}
+	if ex.prefix > 0 {
+		// The planner guarantees the leading GAO columns are the query's
+		// output prefix in execution order; emit them directly.
+		if ex.out == nil {
+			ex.out = make([]int64, ex.prefix)
+		}
+		copy(ex.out, t[:ex.prefix])
+		return ex.emit(ex.out)
 	}
 	if ex.out == nil {
 		ex.out = make([]int64, ex.n)

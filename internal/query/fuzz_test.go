@@ -1,0 +1,76 @@
+package query
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse throws arbitrary source at the Datalog parser. The invariants:
+// Parse never panics, every failure carries a diagnosable error (a
+// *SyntaxError with an in-range offset, or one of the rule-validation
+// sentinels), and every success round-trips — formatting the parsed query
+// and parsing it again yields the same canonical form. The seed corpus
+// spans the full grammar (projection heads, aggregate terms, inline
+// constants, comparison predicates) plus the malformed shapes the parser
+// must reject.
+func FuzzParse(f *testing.F) {
+	for _, src := range []string{
+		"edge(a, b)",
+		"edge(a, b), edge(b, c)",
+		"out(a) :- edge(a, b)",
+		"out(b, a) :- edge(a, b)",
+		"e(a, 5)",
+		"e(137, b), e(b, c)",
+		"edge(a, b), a < 5",
+		"edge(a, b), a != b, b >= 3",
+		"edge(a, b), 7 > a",
+		"deg(a, count(b)) :- edge(a, b)",
+		"stats(a, sum(b), min(c), max(c)) :- e(a, b), e(b, c)",
+		"total(count(a)) :- edge(a, b)",
+		"out(a, count(c)) :- e(a, b), e(b, c), b != 4, a >= 1",
+		"e(a, b), a < -9223372036854775808",
+		"e(a, b), a > 9223372036854775807",
+		// Malformed shapes.
+		"",
+		"e(a b)",
+		"e(a,",
+		"out(a) :-",
+		":- e(a, b)",
+		"out(z) :- e(a, b)",
+		"out(a, a) :- e(a, b)",
+		"deg(a, median(b)) :- e(a, b)",
+		"e(a, b), a ~ b",
+		"e(a, b), 1 < 2",
+		"e(a, 99999999999999999999999999)",
+		"e(a, b) :- e(a, b)",
+		"total(count(z)) :- e(a, b)",
+	} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse("fuzz", src)
+		if err != nil {
+			var se *SyntaxError
+			if errors.As(err, &se) {
+				if se.Offset < 0 || se.Offset > len(src) {
+					t.Fatalf("Parse(%q): SyntaxError offset %d outside [0, %d]", src, se.Offset, len(src))
+				}
+				if se.Msg == "" {
+					t.Fatalf("Parse(%q): SyntaxError with empty message", src)
+				}
+			} else if err.Error() == "" {
+				t.Fatalf("Parse(%q): error with empty message", src)
+			}
+			return
+		}
+		// Success must round-trip through the canonical rendering.
+		canonical := q.String()
+		q2, err := Parse("fuzz", canonical)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but canonical form %q fails to re-parse: %v", src, canonical, err)
+		}
+		if got := q2.String(); got != canonical {
+			t.Fatalf("Parse(%q): canonical form not a fixed point:\n first %q\nsecond %q", src, canonical, got)
+		}
+	})
+}

@@ -196,8 +196,11 @@ func TestParseRuleHeadErrors(t *testing.T) {
 	if _, err := Parse("q", "out(a, z) :- e(a, b)"); !errors.Is(err, ErrUnboundHeadVar) {
 		t.Errorf("unbound head var: %v, want ErrUnboundHeadVar", err)
 	}
-	if _, err := Parse("q", "out(a) :- e(a, b)"); err == nil {
-		t.Error("projection head should fail")
+	q, err := Parse("q", "out(a) :- e(a, b)")
+	if err != nil {
+		t.Errorf("projection head should parse: %v", err)
+	} else if !q.Projected() || q.Prefix() != 1 {
+		t.Errorf("out(a) :- e(a, b): Projected=%v Prefix=%d, want true 1", q.Projected(), q.Prefix())
 	}
 	if _, err := Parse("q", "out(a, a) :- e(a, b)"); err == nil {
 		t.Error("duplicate head variable should fail")

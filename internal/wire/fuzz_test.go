@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// frameBytes renders one frame for the seed corpus.
+func frameBytes(typ byte, reqID uint64, body []byte) []byte {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, typ, reqID, body); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadFrame throws arbitrary byte streams at the frame reader. The
+// invariants: ReadFrame never panics, every failure is one of the protocol's
+// typed errors (or the reader's own io errors), and every successfully read
+// frame re-encodes via WriteFrame to something ReadFrame parses back
+// identically.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})                   // truncated header
+	f.Add([]byte{0, 0, 0, 0, THello})        // zero length
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0}) // declared length over MaxFrame
+	f.Add([]byte{0, 0, 0, 2, TCount})        // payload shorter than declared
+	f.Add(frameBytes(THello, 0, nil))
+	f.Add(frameBytes(TCount, 7, []byte{1, 2, 3}))
+	f.Add(frameBytes(TRowChunk, 1<<40, bytes.Repeat([]byte{0xaa}, 100)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, reqID, body, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+				errors.Is(err, ErrFrameTooLarge), errors.Is(err, ErrTruncated):
+			default:
+				t.Fatalf("ReadFrame: untyped error %T: %v", err, err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, reqID, body); err != nil {
+			t.Fatalf("WriteFrame(%#x, %d, %d bytes) of a parsed frame: %v", typ, reqID, len(body), err)
+		}
+		typ2, reqID2, body2, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-read of re-encoded frame: %v", err)
+		}
+		if typ2 != typ || reqID2 != reqID || !bytes.Equal(body2, body) {
+			t.Fatalf("frame round trip: (%#x, %d, %x) != (%#x, %d, %x)", typ2, reqID2, body2, typ, reqID, body)
+		}
+	})
+}
+
+// queryBytes encodes one query payload for the seed corpus.
+func queryBytes(t *testing.F, src string) []byte {
+	q, err := query.Parse("seed", src)
+	if err != nil {
+		t.Fatalf("seed %q: %v", src, err)
+	}
+	var e Enc
+	FromQuery(q).Encode(&e)
+	return e.Bytes()
+}
+
+// FuzzDecodeQuery throws arbitrary payloads at the query decoder and the
+// ToQuery re-validation behind it — the path a hostile peer reaches. The
+// invariants: no panic, decoding failures are reported through Dec.Err or
+// ToQuery's typed errors, and every payload that survives validation
+// round-trips losslessly through FromQuery/Encode/DecodeQuery.
+func FuzzDecodeQuery(f *testing.F) {
+	for _, src := range []string{
+		"edge(a, b), edge(b, c)",
+		"out(a) :- edge(a, b)",
+		"e(137, b), e(b, c), b != 4",
+		"deg(a, count(b)) :- edge(a, b), a >= 3",
+		"total(sum(b)) :- e(a, b)",
+	} {
+		f.Add(queryBytes(f, src))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDec(data)
+		wq := DecodeQuery(d)
+		if d.Err() != nil {
+			return
+		}
+		q, err := wq.ToQuery()
+		if err != nil {
+			return
+		}
+		var e Enc
+		FromQuery(q).Encode(&e)
+		d2 := NewDec(e.Bytes())
+		wq2 := DecodeQuery(d2)
+		if d2.Err() != nil {
+			t.Fatalf("re-decode of valid query %s: %v", q, d2.Err())
+		}
+		q2, err := wq2.ToQuery()
+		if err != nil {
+			t.Fatalf("re-validation of valid query %s: %v", q, err)
+		}
+		if q2.String() != q.String() {
+			t.Fatalf("query round trip: %q != %q", q2, q)
+		}
+	})
+}
+
+// FuzzDecodePayloads covers the remaining payload decoders — errors, engine
+// options, counter snapshots — behind a one-byte selector. The invariants:
+// no decoder panics on arbitrary bytes, and whatever a decoder accepts
+// re-encodes and re-decodes to the same value.
+func FuzzDecodePayloads(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add(append([]byte{0}, EncodeErr(repro.ErrUnknownRelation)...))
+	f.Add(append([]byte{0}, EncodeErr(&Error{Code: "made-up", Msg: "boom"})...))
+	var eo Enc
+	EncodeOptions(&eo, repro.Options{Algorithm: repro.MS, Workers: 4, GAO: []string{"a", "b"}, DisableProbeMemo: true, MaxRows: 10})
+	f.Add(append([]byte{1}, eo.Bytes()...))
+	var es Enc
+	EncodeStats(&es, core.Stats{Executions: 3, Outputs: 99, Seeks: -1})
+	f.Add(append([]byte{2}, es.Bytes()...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		sel, body := data[0]%3, data[1:]
+		switch sel {
+		case 0:
+			err := DecodeErr(body)
+			if err == nil {
+				t.Fatal("DecodeErr returned nil error")
+			}
+			again := DecodeErr(EncodeErr(err))
+			if again == nil || again.Error() != err.Error() {
+				t.Fatalf("error round trip: %v != %v", again, err)
+			}
+		case 1:
+			d := NewDec(body)
+			o := DecodeOptions(d)
+			if d.Err() != nil {
+				return
+			}
+			var e Enc
+			EncodeOptions(&e, o)
+			o2 := DecodeOptions(NewDec(e.Bytes()))
+			if !reflect.DeepEqual(o2, o) {
+				t.Fatalf("options round trip: %+v != %+v", o2, o)
+			}
+		case 2:
+			d := NewDec(body)
+			s := DecodeStats(d)
+			if d.Err() != nil {
+				return
+			}
+			var e Enc
+			EncodeStats(&e, s)
+			s2 := DecodeStats(NewDec(e.Bytes()))
+			if s2 != s {
+				t.Fatalf("stats round trip: %+v != %+v", s2, s)
+			}
+		}
+	})
+}

@@ -37,6 +37,8 @@ const (
 	CodeUnknownBackend   = "unknown-backend"
 	CodeUnboundHeadVar   = "unbound-head-var"
 	CodeUnboundVar       = "unbound-var"
+	CodeUnboundPredVar   = "unbound-pred-var"
+	CodeUnsupportedQuery = "unsupported-query"
 	CodeTxnUnplanned     = "txn-unplanned"
 	CodeForeignPrepared  = "foreign-prepared"
 	CodeCancelled        = "cancelled"
@@ -88,6 +90,8 @@ var codeTable = []struct {
 	{CodeUnknownBackend, repro.ErrUnknownBackend},
 	{CodeUnboundHeadVar, repro.ErrUnboundHeadVar},
 	{CodeUnboundVar, repro.ErrUnboundVar},
+	{CodeUnboundPredVar, repro.ErrUnboundPredVar},
+	{CodeUnsupportedQuery, repro.ErrUnsupportedQuery},
 	{CodeTxnUnplanned, repro.ErrTxnUnplanned},
 	{CodeForeignPrepared, repro.ErrForeignPrepared},
 	{CodeCancelled, context.Canceled},
@@ -145,18 +149,23 @@ type Atom struct {
 	Vars []string
 }
 
-// Query is a join query on the wire: the name, the output variable order
-// (the head), and the body atoms. It reconstructs losslessly — including the
-// head-fixed output order — via ToQuery.
+// Query is a join query on the wire: the name, the output variables (the
+// plain head), the body atoms, and — since protocol version 2 — the body
+// comparison predicates and the aggregate head terms. It reconstructs
+// losslessly via ToQuery: projection, constant-carrying atoms (their
+// desugared placeholder variables travel as ordinary variables), predicates,
+// and aggregates all survive the round trip.
 type Query struct {
 	Name  string
 	Head  []string
 	Atoms []Atom
+	Preds []query.Pred
+	Aggs  []query.Agg
 }
 
 // FromQuery converts the in-memory representation for transport.
 func FromQuery(q *query.Query) Query {
-	wq := Query{Name: q.Name, Head: q.Vars()}
+	wq := Query{Name: q.Name, Head: q.Out(), Preds: q.Preds, Aggs: q.Aggs}
 	wq.Atoms = make([]Atom, len(q.Atoms))
 	for i, a := range q.Atoms {
 		wq.Atoms[i] = Atom{Rel: a.Rel, Vars: a.Vars}
@@ -164,14 +173,15 @@ func FromQuery(q *query.Query) Query {
 	return wq
 }
 
-// ToQuery rebuilds the in-memory query, re-validating structure and head
-// coverage (a hostile peer can send anything).
+// ToQuery rebuilds the in-memory query, re-validating structure, head
+// coverage, operator and aggregate-function names (a hostile peer can send
+// anything).
 func (wq Query) ToQuery() (*query.Query, error) {
 	atoms := make([]query.Atom, len(wq.Atoms))
 	for i, a := range wq.Atoms {
 		atoms[i] = query.Atom{Rel: a.Rel, Vars: a.Vars}
 	}
-	q, err := query.NewHeaded(wq.Name, wq.Head, atoms...)
+	q, err := query.NewRule(wq.Name, wq.Head, wq.Aggs, wq.Preds, atoms...)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +191,10 @@ func (wq Query) ToQuery() (*query.Query, error) {
 	return q, nil
 }
 
-// Encode appends the query to a payload.
+// Encode appends the query to a payload. Predicate constants ride the
+// signed encoding: the storage domain is non-negative, but a hostile or
+// merely careless peer may write literals like "a > -1", and clamping them
+// would change the predicate's meaning.
 func (wq Query) Encode(e *Enc) {
 	e.Str(wq.Name)
 	e.StrList(wq.Head)
@@ -189,6 +202,23 @@ func (wq Query) Encode(e *Enc) {
 	for _, a := range wq.Atoms {
 		e.Str(a.Rel)
 		e.StrList(a.Vars)
+	}
+	e.Int(len(wq.Preds))
+	for _, p := range wq.Preds {
+		e.Str(p.Left)
+		e.Str(string(p.Op))
+		if p.IsVar {
+			e.U64(1)
+			e.Str(p.Right)
+		} else {
+			e.U64(0)
+			e.I64(p.Const)
+		}
+	}
+	e.Int(len(wq.Aggs))
+	for _, a := range wq.Aggs {
+		e.Str(string(a.Func))
+		e.Str(a.Var)
 	}
 }
 
@@ -204,6 +234,27 @@ func DecodeQuery(d *Dec) Query {
 	wq.Atoms = make([]Atom, n)
 	for i := range wq.Atoms {
 		wq.Atoms[i] = Atom{Rel: d.Str(), Vars: d.StrList()}
+	}
+	np := d.Count()
+	if d.Err() != nil {
+		return Query{}
+	}
+	for i := 0; i < np; i++ {
+		p := query.Pred{Left: d.Str(), Op: query.CmpOp(d.Str())}
+		if d.U64() != 0 {
+			p.IsVar = true
+			p.Right = d.Str()
+		} else {
+			p.Const = d.I64()
+		}
+		wq.Preds = append(wq.Preds, p)
+	}
+	na := d.Count()
+	if d.Err() != nil {
+		return Query{}
+	}
+	for i := 0; i < na; i++ {
+		wq.Aggs = append(wq.Aggs, query.Agg{Func: query.AggFunc(d.Str()), Var: d.Str()})
 	}
 	return wq
 }

@@ -29,8 +29,9 @@ import (
 )
 
 // ProtocolVersion is negotiated in the Hello exchange; the server rejects
-// clients whose major version it does not speak.
-const ProtocolVersion = 1
+// clients whose major version it does not speak. Version 2 extended the
+// query payload with predicates and aggregate terms.
+const ProtocolVersion = 2
 
 // MaxFrame bounds a frame's payload (64 MiB). Oversized frames indicate a
 // corrupt or malicious peer; both ends drop the connection.

@@ -181,6 +181,54 @@ func TestQueryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestExtendedQueryRoundTrip pins the protocol-version-2 query payload:
+// projection heads, inline constants (desugared placeholders), comparison
+// predicates — including negative constants, which the signed encoding must
+// not clamp — and aggregate terms all survive transport and re-validation.
+func TestExtendedQueryRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"out(a) :- e(a, b), e(b, c)",
+		"e(3, b), e(b, c), b != 4",
+		"deg(a, count(b), sum(b)) :- e(a, b), a >= 2, b < 9",
+		"total(min(c), max(c)) :- e(a, b), e(b, c)",
+	} {
+		q, err := query.Parse("q", src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		var e Enc
+		FromQuery(q).Encode(&e)
+		d := NewDec(e.Bytes())
+		got, err := DecodeQuery(d).ToQuery()
+		if err != nil {
+			t.Fatalf("%q: ToQuery: %v", src, err)
+		}
+		if d.Err() != nil {
+			t.Fatalf("%q: %v", src, d.Err())
+		}
+		if got.String() != q.String() {
+			t.Fatalf("%q round trip: got %q, want %q", src, got, q)
+		}
+	}
+	// A hand-built predicate with a negative constant: the parser never emits
+	// one (the storage domain is non-negative), but a peer may.
+	q, err := query.NewRule("neg", []string{"a", "b"}, nil,
+		[]query.Pred{{Left: "a", Op: query.OpGt, Const: -5}},
+		query.Atom{Rel: "e", Vars: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Enc
+	FromQuery(q).Encode(&e)
+	got, err := DecodeQuery(NewDec(e.Bytes())).ToQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Preds) != 1 || got.Preds[0].Const != -5 {
+		t.Fatalf("negative predicate constant clamped: %+v", got.Preds)
+	}
+}
+
 // TestOptionsRoundTrip drives every Options field across the wire.
 func TestOptionsRoundTrip(t *testing.T) {
 	in := repro.Options{

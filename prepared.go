@@ -9,6 +9,7 @@ import (
 	"repro/internal/agm"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/relation"
 )
 
 // Prepared is a compiled query pinned against a store's physical design:
@@ -37,6 +38,7 @@ type Prepared struct {
 	eng     core.Engine
 	plan    *core.Plan
 	sc      *core.StatsCollector
+	agg     *aggSpec
 }
 
 // prepare compiles the query against a store (schema checks already done by
@@ -61,6 +63,7 @@ func prepare(s *Store, q *Query, opts Options) (*Prepared, error) {
 		eng:     eng,
 		plan:    plan,
 		sc:      sc,
+		agg:     newAggSpec(q),
 	}, nil
 }
 
@@ -71,19 +74,32 @@ func (p *Prepared) Query() *Query { return p.q }
 func (p *Prepared) Algorithm() string { return p.alg }
 
 // Count executes the compiled plan and returns the number of result tuples.
+// For aggregate queries that is the number of groups — one tuple per
+// distinct binding of the output variables.
 func (p *Prepared) Count(ctx context.Context) (int64, error) {
+	if p.agg != nil {
+		return p.agg.count(func(emit func([]int64) bool) error {
+			return p.eng.Enumerate(ctx, p.q, p.s.db, emit)
+		})
+	}
 	return p.eng.Count(ctx, p.q, p.s.db)
 }
 
-// Enumerate executes the compiled plan, streaming result tuples with
-// bindings in q.Vars() order; emit returns false to stop early. The tuple
-// slice is reused between calls — copy it to retain it.
+// Enumerate executes the compiled plan, streaming result tuples in output
+// order: one value per q.Out() variable, then one per aggregate term (for
+// plain queries that is q.Vars() order). emit returns false to stop early.
+// The tuple slice is reused between calls — copy it to retain it.
 func (p *Prepared) Enumerate(ctx context.Context, emit func([]int64) bool) error {
+	if p.agg != nil {
+		return p.agg.run(func(e func([]int64) bool) error {
+			return p.eng.Enumerate(ctx, p.q, p.s.db, e)
+		}, emit)
+	}
 	return p.eng.Enumerate(ctx, p.q, p.s.db, emit)
 }
 
 // Rows executes the compiled plan as a streaming iterator over result
-// tuples, with bindings in q.Vars() order. Each yielded slice is a fresh
+// tuples, in the same output order as Enumerate. Each yielded slice is a fresh
 // copy owned by the consumer. Breaking out of the range stops execution
 // early. The sequence ends early if ctx is cancelled or the engine fails
 // mid-stream; Rows discards that error, so callers that must distinguish a
@@ -173,6 +189,20 @@ type Explanation struct {
 	BetaCyclic bool
 	// Atoms describes each atom's physical binding (nil when not Planned).
 	Atoms []AtomPlan
+	// Output names the result columns when the query projects or
+	// aggregates: the head variables followed by the aggregate terms (nil
+	// for plain full-binding queries).
+	Output []string
+	// Bounds renders the constant-predicate seek bounds pushed into the
+	// trie cursors, one entry per constrained GAO variable.
+	Bounds []string
+	// Residuals renders the predicates that could not become seek bounds
+	// and are evaluated as filters during enumeration.
+	Residuals []string
+	// Projection is the number of leading GAO variables emission is
+	// restricted to (with early duplicate elimination); 0 when the engine
+	// enumerates full bindings.
+	Projection int
 	// AGMBound is the Atserias–Grohe–Marx worst-case output bound on this
 	// graph's relation sizes (0 when the LP is unavailable for the query).
 	AGMBound float64
@@ -202,6 +232,18 @@ func (e Explanation) String() string {
 			}
 			fmt.Fprintf(&b, "  %-24s -> %s (%d tuples)%s\n", a.Atom, a.Index, a.Rows, skel)
 		}
+		if len(e.Bounds) > 0 {
+			fmt.Fprintf(&b, "pushdown %s\n", strings.Join(e.Bounds, ", "))
+		}
+		if len(e.Residuals) > 0 {
+			fmt.Fprintf(&b, "residual %s\n", strings.Join(e.Residuals, ", "))
+		}
+		if e.Projection > 0 {
+			fmt.Fprintf(&b, "project %s  [early dedup]\n", strings.Join(e.GAO[:e.Projection], ", "))
+		}
+	}
+	if len(e.Output) > 0 {
+		fmt.Fprintf(&b, "output %s\n", strings.Join(e.Output, ", "))
 	}
 	if e.AGMBound > 0 {
 		fmt.Fprintf(&b, "agm bound %.4g\n", e.AGMBound)
@@ -240,6 +282,35 @@ func (p *Prepared) Explain() Explanation {
 			InSkeleton: plan.InSkel == nil || plan.InSkel[i],
 		}
 		e.Atoms = append(e.Atoms, ap)
+	}
+	if p.q.Extended() {
+		e.Output = append([]string(nil), p.q.Out()...)
+		for _, ag := range p.q.Aggs {
+			e.Output = append(e.Output, ag.String())
+		}
+	}
+	if push := plan.Push; push != nil {
+		for d, bd := range push.Bounds {
+			if bd.Trivial() {
+				continue
+			}
+			switch {
+			case bd.Hi >= relation.PosInf:
+				e.Bounds = append(e.Bounds, fmt.Sprintf("%s >= %d", plan.GAO[d], bd.Lo))
+			case bd.Lo <= 0:
+				e.Bounds = append(e.Bounds, fmt.Sprintf("%s < %d", plan.GAO[d], bd.Hi))
+			default:
+				e.Bounds = append(e.Bounds, fmt.Sprintf("%s in [%d, %d)", plan.GAO[d], bd.Lo, bd.Hi))
+			}
+		}
+		for _, r := range push.Residuals {
+			rhs := fmt.Sprintf("%d", r.RVal)
+			if r.RPos >= 0 {
+				rhs = plan.GAO[r.RPos]
+			}
+			e.Residuals = append(e.Residuals, fmt.Sprintf("%s %s %s", plan.GAO[r.LPos], r.Op, rhs))
+		}
+		e.Projection = push.Prefix
 	}
 	return e
 }

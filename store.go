@@ -224,12 +224,17 @@ func (s *Store) CheckQuery(q *Query) error {
 }
 
 // ParseQuery parses the Datalog-style syntax over this store's schema and
-// validates it eagerly: a bare body ("follows(a,b), follows(b,c)") or a full
-// rule whose head names the query and fixes the output variable order
-// ("fof(a, c) :- follows(a, b), follows(b, c)" — rejected here because the
-// head must list every body variable; "fof(c, b, a) :- ..." reorders).
-// Unknown relations, arity mismatches, and unbound head variables surface as
-// typed errors (ErrUnknownRelation, ErrArityMismatch, ErrUnboundHeadVar).
+// validates it eagerly. A bare body ("follows(a,b), follows(b,c)") outputs
+// every variable; a full rule's head names the query and fixes — or projects
+// — the output ("fof(a, c) :- follows(a, b), follows(b, c)" emits the
+// distinct (a, c) pairs; "fof(c, b, a) :- ..." reorders). Atoms may carry
+// integer constants ("e(a, 5)"), bodies may mix in comparison predicates
+// ("a < b", "x >= 10"), and heads may end in aggregate terms
+// ("deg(a, count(b)) :- e(a, b)") — see ParseQuery (package query) for the
+// grammar. Unknown relations, arity mismatches, unbound head or predicate
+// variables, and malformed syntax surface as typed errors
+// (ErrUnknownRelation, ErrArityMismatch, ErrUnboundHeadVar,
+// query.ErrUnboundPredVar, *query.SyntaxError).
 func (s *Store) ParseQuery(name, src string) (*Query, error) {
 	q, err := query.Parse(name, src)
 	if err != nil {
@@ -265,8 +270,9 @@ func (s *Store) Count(ctx context.Context, q *Query, opts Options) (int64, error
 	return p.Count(ctx)
 }
 
-// Enumerate streams result tuples with bindings in q.Vars() order; emit
-// returns false to stop early. One-shot convenience over Prepare.
+// Enumerate streams result tuples in output order (the head variables then
+// any aggregate values; q.Vars() order for plain queries); emit returns
+// false to stop early. One-shot convenience over Prepare.
 func (s *Store) Enumerate(ctx context.Context, q *Query, opts Options, emit func([]int64) bool) error {
 	p, err := s.Prepare(q, opts)
 	if err != nil {

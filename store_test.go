@@ -400,8 +400,8 @@ func TestStoreSchemaErrors(t *testing.T) {
 }
 
 // TestStoreParseQueryErrors covers the schema-checked parse paths: unknown
-// relation, arity mismatch, unbound head variable, projection, duplicate
-// head variables.
+// relation, arity mismatch, unbound head variable, duplicate head
+// variables.
 func TestStoreParseQueryErrors(t *testing.T) {
 	s := NewStore()
 	if err := s.DefineRelation("e", 2); err != nil {
@@ -416,8 +416,10 @@ func TestStoreParseQueryErrors(t *testing.T) {
 	if _, err := s.ParseQuery("q", "out(a, z) :- e(a, b)"); !errors.Is(err, ErrUnboundHeadVar) {
 		t.Errorf("unbound head var: %v, want ErrUnboundHeadVar", err)
 	}
-	if _, err := s.ParseQuery("q", "out(a) :- e(a, b)"); err == nil {
-		t.Error("projection head should fail")
+	if q, err := s.ParseQuery("q", "out(a) :- e(a, b)"); err != nil {
+		t.Errorf("projection head should parse: %v", err)
+	} else if !q.Projected() {
+		t.Errorf("out(a) :- e(a, b) should be projected")
 	}
 	if _, err := s.ParseQuery("q", "out(a, a) :- e(a, b)"); err == nil {
 		t.Error("duplicate head var should fail")

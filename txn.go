@@ -92,23 +92,34 @@ func (t *Txn) engineFor(p *Prepared) (core.Engine, error) {
 }
 
 // Count executes the prepared query against the transaction's snapshot and
-// returns the number of result tuples.
+// returns the number of result tuples (for aggregate queries, the number of
+// groups).
 func (t *Txn) Count(ctx context.Context, p *Prepared) (int64, error) {
 	e, err := t.engineFor(p)
 	if err != nil {
 		return 0, err
 	}
+	if p.agg != nil {
+		return p.agg.count(func(emit func([]int64) bool) error {
+			return e.Enumerate(ctx, p.q, t.s.db, emit)
+		})
+	}
 	return e.Count(ctx, p.q, t.s.db)
 }
 
 // Enumerate executes the prepared query against the transaction's snapshot,
-// streaming result tuples with bindings in q.Vars() order; emit returns
-// false to stop early. The tuple slice is reused between calls — copy it to
-// retain it.
+// streaming result tuples in output order (q.Out() variables then aggregate
+// values; q.Vars() order for plain queries); emit returns false to stop
+// early. The tuple slice is reused between calls — copy it to retain it.
 func (t *Txn) Enumerate(ctx context.Context, p *Prepared, emit func([]int64) bool) error {
 	e, err := t.engineFor(p)
 	if err != nil {
 		return err
+	}
+	if p.agg != nil {
+		return p.agg.run(func(em func([]int64) bool) error {
+			return e.Enumerate(ctx, p.q, t.s.db, em)
+		}, emit)
 	}
 	return e.Enumerate(ctx, p.q, t.s.db, emit)
 }
