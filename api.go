@@ -406,6 +406,41 @@ type Options struct {
 	DisableCountReuse bool // Idea 8 (#Minesweeper-style count-mode reuse)
 	// MaxRows caps pairwise-engine intermediates (0 = default budget).
 	MaxRows int
+	// Shard, when set, restricts execution to one partition of the query's
+	// output space, keyed on the leading GAO attribute — the per-host half
+	// of a distributed fan-out (see the router package, which sets it when
+	// preparing a query on each cluster host). Supported by the plan-aware
+	// trie engines (lftj, ms) only; Prepare rejects it elsewhere with
+	// ErrUnsupportedQuery.
+	Shard *Shard
+}
+
+// Shard kinds; see Shard.
+const (
+	// ShardRange keeps leading-attribute values in [Lo, Hi) — the same
+	// restriction the §4.10 parallel jobs use, pushed into the trie cursors.
+	ShardRange = "range"
+	// ShardHash keeps rows whose leading attribute hashes into this host's
+	// residue class (core.ShardHash(v) mod Mod == Res), applied as an
+	// emission filter.
+	ShardHash = "hash"
+)
+
+// Shard is one partition of a query's output space, keyed on the value of
+// the leading GAO attribute. Partitions of either kind are disjoint and
+// cover the domain, so per-shard counts sum to the unsharded count and
+// per-shard streams merge (ordered on the leading attribute) into the
+// unsharded stream. Aggregate queries group on a prefix led by the same
+// attribute, so every group lands wholly inside one shard — except the
+// global aggregates of an empty group-by head, which each shard reports as
+// a partial for the coordinator to fold.
+type Shard struct {
+	// Kind selects the partitioning strategy: ShardRange or ShardHash.
+	Kind string
+	// Lo and Hi bound a ShardRange partition: values in [Lo, Hi).
+	Lo, Hi int64
+	// Mod and Res select a ShardHash residue class: 0 <= Res < Mod.
+	Mod, Res uint64
 }
 
 func (o Options) engineOptions() engine.Options {
@@ -413,7 +448,7 @@ func (o Options) engineOptions() engine.Options {
 	if alg == "" {
 		alg = engine.LFTJ
 	}
-	return engine.Options{
+	eo := engine.Options{
 		Algorithm:   alg,
 		Workers:     o.Workers,
 		Granularity: o.Granularity,
@@ -427,6 +462,18 @@ func (o Options) engineOptions() engine.Options {
 			DisableCountMemo: o.DisableCountReuse,
 		},
 	}
+	if o.Shard != nil && o.Shard.Kind == ShardRange {
+		eo.FirstVarRange = &engine.Range{Lo: o.Shard.Lo, Hi: o.Shard.Hi}
+	}
+	return eo
+}
+
+// ResolveGAO derives the global attribute order Prepare would fix for the
+// query under these options — purely structural, touching no data, so a
+// coordinator can compute the order remote hosts will execute under and
+// partition or merge on its leading attribute.
+func ResolveGAO(q *Query, opts Options) ([]string, error) {
+	return engine.ResolveGAO(opts.engineOptions(), q)
 }
 
 // Count evaluates the query on the graph and returns the number of results

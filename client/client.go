@@ -60,10 +60,12 @@ var (
 type Option func(*config)
 
 type config struct {
-	store      string
-	chunkRows  int
-	credit     int
-	reqTimeout time.Duration
+	store        string
+	chunkRows    int
+	credit       int
+	reqTimeout   time.Duration
+	dialAttempts int
+	dialBackoff  time.Duration
 }
 
 // WithStore selects the named store on a multi-tenant server (default
@@ -80,6 +82,21 @@ func WithStore(name string) Option { return func(c *config) { c.store = name } }
 // and unaffected.
 func WithRequestTimeout(d time.Duration) Option {
 	return func(c *config) { c.reqTimeout = d }
+}
+
+// WithDialRetry makes Dial retry transport-level connection failures (e.g.
+// connection refused while the server is still booting) up to attempts total
+// tries, sleeping backoff before the first retry and doubling it each
+// further try. The Dial context still governs the whole sequence — its
+// cancellation or deadline cuts the retries short. Handshake rejections
+// (protocol version, unknown store) are not retried: the server answered,
+// and it would answer the same way again. Attempts below 1 mean one try;
+// backoff at or below zero defaults to 50ms.
+func WithDialRetry(attempts int, backoff time.Duration) Option {
+	return func(c *config) {
+		c.dialAttempts = attempts
+		c.dialBackoff = backoff
+	}
 }
 
 // WithStreamTuning sets the Rows flow-control parameters: tuples per chunk
@@ -133,19 +150,50 @@ type call struct {
 
 // Dial connects to a graphjoind server and performs the Hello exchange
 // (protocol version check and store selection). The context governs dialing
-// and the handshake only — not the connection's lifetime.
+// and the handshake only — not the connection's lifetime. With WithDialRetry
+// configured, connection failures are retried with exponential backoff.
 func Dial(ctx context.Context, addr string, opts ...Option) (*Store, error) {
-	var d net.Dialer
-	nc, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
 	}
-	s, err := New(ctx, nc, opts...)
-	if err != nil {
-		nc.Close()
-		return nil, err
+	attempts := cfg.dialAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	return s, nil
+	backoff := cfg.dialBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			select {
+			case <-time.After(backoff):
+				backoff *= 2
+			case <-ctx.Done():
+				return nil, fmt.Errorf("client: dial %s: %w (last attempt: %v)", addr, ctx.Err(), lastErr)
+			}
+		}
+		var d net.Dialer
+		nc, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+			}
+			continue
+		}
+		s, err := New(ctx, nc, opts...)
+		if err != nil {
+			nc.Close()
+			// The server spoke: a handshake rejection (version, unknown
+			// store) is deterministic and not worth retrying.
+			return nil, err
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("client: dial %s: %w", addr, lastErr)
 }
 
 // New wraps an established connection (Dial's transport-agnostic core; tests

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/client"
@@ -46,6 +47,60 @@ func TestDialFailure(t *testing.T) {
 	l.Close()
 	if _, err := client.Dial(context.Background(), addr); err == nil {
 		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+// TestDialRetry pins WithDialRetry: a server that starts listening only after
+// the first attempts have failed is still reached, a bounded retry budget
+// against a port that never opens reports the last dial error, and context
+// cancellation cuts the backoff sleeps short.
+func TestDialRetry(t *testing.T) {
+	st := repro.NewStore()
+
+	// Reserve a port, close it, and bring the server up only after a delay —
+	// the booting-cluster shape WithDialRetry exists for.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		l2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port re-taken by another process; the dial below fails loudly
+		}
+		srv := server.NewSingle(st)
+		t.Cleanup(func() { srv.Close() })
+		srv.Serve(l2)
+	}()
+	c, err := client.Dial(context.Background(), addr, client.WithDialRetry(20, 25*time.Millisecond))
+	if err != nil {
+		t.Fatalf("dial with retry against delayed listener: %v", err)
+	}
+	c.Close()
+
+	// A port that never opens must exhaust the budget, not hang.
+	l3, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l3.Addr().String()
+	l3.Close()
+	if _, err := client.Dial(context.Background(), dead, client.WithDialRetry(3, time.Millisecond)); err == nil {
+		t.Fatal("dial with retry to closed port succeeded")
+	}
+
+	// Context cancellation interrupts the backoff sleep.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := client.Dial(ctx, dead, client.WithDialRetry(100, time.Second)); err == nil {
+		t.Fatal("dial survived a cancelled context")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled dial took %v, want prompt return", elapsed)
 	}
 }
 

@@ -31,7 +31,9 @@
 // With -data-dir the server is durable: every acknowledged write is fsynced
 // to a per-store write-ahead log under DIR/<store> before the client sees
 // success (policy via -fsync), a background snapshotter checkpoints each
-// store every -checkpoint-every, and a restart on the same -data-dir
+// store every -checkpoint-every (and, with -checkpoint-bytes, whenever the
+// un-pruned log outgrows that size budget), and a restart on the same
+// -data-dir
 // recovers to the last fsynced write — preload flags seed a store only on
 // its first start, after which the disk is the source of truth:
 //
@@ -98,6 +100,7 @@ func run() error {
 		fsync       = flag.String("fsync", "group", "WAL fsync policy with -data-dir: group | always | none")
 		fsyncWindow = flag.Duration("fsync-window", 0, "group-commit accumulation window (how long a sync leader waits for more writers)")
 		checkpoint  = flag.Duration("checkpoint-every", 5*time.Minute, "background checkpoint interval with -data-dir (0 disables)")
+		ckptBytes   = flag.Int64("checkpoint-bytes", 0, "with -data-dir, also checkpoint whenever the un-pruned WAL exceeds this many bytes (0 disables)")
 	)
 	flag.Var(&relations, "relation", "define a default-store relation as name:arity (repeatable)")
 	flag.Var(&loads, "load", "load a default-store relation from a file of integer rows, as name=path (repeatable)")
@@ -137,7 +140,7 @@ func run() error {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			st, err := openDurable(filepath.Join(*dataDir, name), name, *fsync, *fsyncWindow, stores[name])
+			st, err := openDurable(filepath.Join(*dataDir, name), name, *fsync, *fsyncWindow, *ckptBytes, stores[name])
 			if err != nil {
 				return err
 			}
@@ -261,8 +264,8 @@ func run() error {
 // with the flag/config-preloaded in-memory store's schema and contents. On
 // every later start the disk is the source of truth and the preload is
 // ignored, so changing preload flags cannot silently fork a live dataset.
-func openDurable(dir, name, fsync string, window time.Duration, seed *repro.Store) (*repro.Store, error) {
-	st, info, err := repro.OpenStore(dir, repro.DurabilityOptions{Sync: fsync, GroupWindow: window, MetricsName: name})
+func openDurable(dir, name, fsync string, window time.Duration, ckptBytes int64, seed *repro.Store) (*repro.Store, error) {
+	st, info, err := repro.OpenStore(dir, repro.DurabilityOptions{Sync: fsync, GroupWindow: window, MetricsName: name, CheckpointBytes: ckptBytes})
 	if err != nil {
 		return nil, fmt.Errorf("store %q: %w", name, err)
 	}

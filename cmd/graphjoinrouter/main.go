@@ -1,0 +1,310 @@
+// Command graphjoinrouter fronts a cluster of graphjoind hosts as one
+// logical store — the reproduction's distributed query fabric. It speaks the
+// same wire protocol as graphjoind, so existing clients (graphjoin -connect,
+// graphjoinload, repro/client programmatically) drive a cluster unmodified:
+// writes broadcast to every host, prepared queries fan out with each host
+// executing one shard of the leading attribute's domain, and the router
+// merges counts, ordered row streams, and aggregate partials back into
+// single-store answers.
+//
+// A three-host cluster with hash partitioning:
+//
+//	graphjoinrouter -listen :7475 -hosts 10.0.0.1:7474,10.0.0.2:7474,10.0.0.3:7474
+//
+// Range partitioning needs one boundary per host gap:
+//
+//	graphjoinrouter -hosts a:7474,b:7474,c:7474 -partition range:1000,2000
+//
+// Larger topologies read an INI-ish config file (-topology), one section per
+// host, with the partition strategy declared up front:
+//
+//	# cluster.conf
+//	partition range 1000 2000
+//	[shard-a]
+//	addr 10.0.0.1:7474
+//	store default
+//	[shard-b]
+//	addr 10.0.0.2:7474
+//	[shard-c]
+//	addr 10.0.0.3:7474
+//
+// With -metrics-addr the router exposes its fan-out instrumentation
+// (graphjoinrouter_fanout_width, graphjoinrouter_host_request_seconds,
+// graphjoinrouter_straggler_gap_seconds, graphjoinrouter_retries_total)
+// alongside the shared serving metrics. The router drains on SIGINT/SIGTERM:
+// in-flight fan-outs finish (up to -drain), then the host connections close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/router"
+	"repro/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "graphjoinrouter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen       = flag.String("listen", ":7475", "address to serve the wire protocol on")
+		hostsFlag    = flag.String("hosts", "", "comma-separated graphjoind host addresses")
+		topology     = flag.String("topology", "", "cluster config file (see the command doc); exclusive with -hosts")
+		partition    = flag.String("partition", "hash", "partition strategy: hash | range:B1,B2,... (one boundary per host gap)")
+		storeName    = flag.String("store", server.DefaultStore, "store to select on every host")
+		serveAs      = flag.String("serve-as", server.DefaultStore, "store name the routed cluster is served under")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-host request timeout (0 = none)")
+		retries      = flag.Int("retries", 2, "bounded retries for idempotent reads after a host admission rejection")
+		retryBackoff = flag.Duration("retry-backoff", 25*time.Millisecond, "initial backoff between read retries (doubles per attempt)")
+		dialAttempts = flag.Int("dial-attempts", 5, "connection attempts per host at startup")
+		dialBackoff  = flag.Duration("dial-backoff", 100*time.Millisecond, "initial backoff between dial attempts (doubles per attempt)")
+		drain        = flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
+		metricsAddr  = flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus text) and /healthz; empty disables")
+	)
+	flag.Parse()
+
+	specs, part, err := resolveTopology(*hostsFlag, *topology, *partition, *storeName)
+	if err != nil {
+		return err
+	}
+
+	dialCtx, dialCancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	r, err := router.Open(dialCtx, specs, router.Config{
+		Partitioner:    part,
+		RequestTimeout: *reqTimeout,
+		MaxRetries:     *retries,
+		RetryBackoff:   *retryBackoff,
+		DialAttempts:   *dialAttempts,
+		DialBackoff:    *dialBackoff,
+	})
+	dialCancel()
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	srv := server.New(server.Config{
+		Queriers: map[string]repro.Querier{*serveAs: r},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "graphjoinrouter: "+format+"\n", args...)
+		},
+	})
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	addrs := make([]string, len(specs))
+	for i, s := range specs {
+		addrs[i] = s.Addr
+	}
+	fmt.Printf("graphjoinrouter: routing store %s over %d hosts [%s] (%s partitioning) on %s\n",
+		*serveAs, len(addrs), strings.Join(addrs, " "), part.Name(), l.Addr())
+
+	// The observability sidecar listener, identical to graphjoind's: the
+	// router's fan-out metrics live in the same default registry as the
+	// serving metrics of the frontend listener.
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Default().Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+		metricsSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := metricsSrv.Serve(ml); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "graphjoinrouter: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Printf("graphjoinrouter: metrics on http://%s/metrics\n", ml.Addr())
+		defer func() {
+			closeCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			metricsSrv.Shutdown(closeCtx)
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	select {
+	case err := <-serveDone:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("graphjoinrouter: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "graphjoinrouter: drain cut short: %v\n", err)
+	}
+	if err := <-serveDone; !errors.Is(err, server.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("graphjoinrouter: bye")
+	return nil
+}
+
+// resolveTopology builds the host list and partitioner from either the
+// -hosts/-partition flags or a -topology config file — exactly one of the
+// two sources.
+func resolveTopology(hostsFlag, topologyPath, partition, storeName string) ([]router.HostSpec, router.Partitioner, error) {
+	if (hostsFlag == "") == (topologyPath == "") {
+		return nil, nil, fmt.Errorf("exactly one of -hosts or -topology is required")
+	}
+	if topologyPath != "" {
+		return loadTopology(topologyPath)
+	}
+	var specs []router.HostSpec
+	for _, addr := range strings.Split(hostsFlag, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		specs = append(specs, router.HostSpec{Addr: addr, Store: storeName})
+	}
+	if len(specs) == 0 {
+		return nil, nil, fmt.Errorf("-hosts names no addresses")
+	}
+	part, err := parsePartition(partition)
+	if err != nil {
+		return nil, nil, err
+	}
+	return specs, part, nil
+}
+
+// parsePartition parses the -partition flag: "hash" or "range:B1,B2,...".
+func parsePartition(s string) (router.Partitioner, error) {
+	if s == "hash" {
+		return router.HashPartitioner(), nil
+	}
+	if rest, ok := strings.CutPrefix(s, "range:"); ok {
+		var bounds []int64
+		for _, f := range strings.Split(rest, ",") {
+			b, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-partition range boundary %q: %v", f, err)
+			}
+			bounds = append(bounds, b)
+		}
+		if len(bounds) == 0 {
+			return nil, fmt.Errorf("-partition range needs at least one boundary")
+		}
+		return router.RangePartitioner(bounds...), nil
+	}
+	return nil, fmt.Errorf("unknown -partition %q (want hash or range:B1,B2,...)", s)
+}
+
+// loadTopology parses the -topology file: an optional leading
+// "partition hash" or "partition range B1 B2 ..." directive, then one
+// "[name]" section per host with "addr HOST:PORT" (required) and
+// "store NAME" (optional, defaults to the server's default store).
+// Blank lines and #-comments are skipped.
+func loadTopology(path string) ([]router.HostSpec, router.Partitioner, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	part := router.Partitioner(nil)
+	var specs []router.HostSpec
+	cur := -1
+	for lineNo, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		where := fmt.Sprintf("%s:%d", path, lineNo+1)
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, nil, fmt.Errorf("%s: malformed section header %q", where, line)
+			}
+			if name := strings.TrimSpace(line[1 : len(line)-1]); name == "" {
+				return nil, nil, fmt.Errorf("%s: empty host name", where)
+			}
+			specs = append(specs, router.HostSpec{Store: server.DefaultStore})
+			cur = len(specs) - 1
+			continue
+		}
+		directive, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch directive {
+		case "partition":
+			if cur >= 0 {
+				return nil, nil, fmt.Errorf("%s: partition must precede the host sections", where)
+			}
+			if part != nil {
+				return nil, nil, fmt.Errorf("%s: partition declared twice", where)
+			}
+			f := strings.Fields(rest)
+			switch {
+			case len(f) == 1 && f[0] == "hash":
+				part = router.HashPartitioner()
+			case len(f) >= 2 && f[0] == "range":
+				bounds := make([]int64, 0, len(f)-1)
+				for _, b := range f[1:] {
+					v, err := strconv.ParseInt(b, 10, 64)
+					if err != nil {
+						return nil, nil, fmt.Errorf("%s: range boundary %q: %v", where, b, err)
+					}
+					bounds = append(bounds, v)
+				}
+				part = router.RangePartitioner(bounds...)
+			default:
+				return nil, nil, fmt.Errorf("%s: partition wants 'hash' or 'range B1 B2 ...'", where)
+			}
+		case "addr":
+			if cur < 0 {
+				return nil, nil, fmt.Errorf("%s: addr before the first [host] section", where)
+			}
+			if specs[cur].Addr != "" {
+				return nil, nil, fmt.Errorf("%s: host already has an addr", where)
+			}
+			specs[cur].Addr = rest
+		case "store":
+			if cur < 0 {
+				return nil, nil, fmt.Errorf("%s: store before the first [host] section", where)
+			}
+			specs[cur].Store = rest
+		default:
+			return nil, nil, fmt.Errorf("%s: unknown directive %q", where, directive)
+		}
+	}
+	if len(specs) == 0 {
+		return nil, nil, fmt.Errorf("%s: no host sections", path)
+	}
+	for i, s := range specs {
+		if s.Addr == "" {
+			return nil, nil, fmt.Errorf("%s: host section %d has no addr", path, i+1)
+		}
+	}
+	if part == nil {
+		part = router.HashPartitioner()
+	}
+	return specs, part, nil
+}

@@ -36,6 +36,13 @@ type DurabilityOptions struct {
 	// are registered under in the process metrics registry. Empty defaults
 	// to the base name of dir; "-" disables durability metrics entirely.
 	MetricsName string
+	// CheckpointBytes, when positive, triggers an automatic checkpoint as
+	// soon as a write pushes the un-pruned log past this size — the
+	// size-based complement to a timer-driven Checkpoint loop, bounding
+	// recovery replay by data volume rather than wall clock. The checkpoint
+	// runs in the background off the write path; at most one runs at a
+	// time, and a failed attempt is retried by the next qualifying write.
+	CheckpointBytes int64
 }
 
 // RecoveryInfo summarizes what OpenStore reconstructed from disk.
@@ -97,7 +104,7 @@ func OpenStore(dir string, opts DurabilityOptions) (*Store, *RecoveryInfo, error
 		LastLSN:     rec.LastLSN,
 		TailErr:     rec.TailErr,
 	}
-	return &Store{db: db, dur: mgr}, info, nil
+	return &Store{db: db, dur: mgr, ckptBytes: opts.CheckpointBytes}, info, nil
 }
 
 // replay folds recovered log records into the database through the same
@@ -158,7 +165,29 @@ func (s *Store) applyDeltas(batches []core.DeltaBatch) error {
 	if err != nil {
 		return err
 	}
-	return s.dur.Commit(lsn)
+	if err := s.dur.Commit(lsn); err != nil {
+		return err
+	}
+	s.maybeCheckpoint()
+	return nil
+}
+
+// maybeCheckpoint starts a background checkpoint when the un-pruned log has
+// outgrown DurabilityOptions.CheckpointBytes. Called after every
+// acknowledged write; the CAS keeps at most one checkpoint in flight, and a
+// failure is simply retried by the next write that still sees an oversized
+// log — checkpointing is an optimization, never a correctness requirement.
+func (s *Store) maybeCheckpoint() {
+	if s.ckptBytes <= 0 || s.dur.UnprunedBytes() < uint64(s.ckptBytes) {
+		return
+	}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.ckptBusy.Store(false)
+		s.Checkpoint()
+	}()
 }
 
 // Checkpoint snapshots every relation's base rows at the current log

@@ -7,7 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
+	"time"
 )
 
 // durWorkload builds a deterministic sequence of store mutations. Each op
@@ -410,4 +412,117 @@ func BenchmarkApply(b *testing.B) {
 		defer s.Close()
 		bench(b, s)
 	})
+}
+
+// TestCheckpointBytesTrigger pins the size-triggered checkpoint: once writes
+// push the un-pruned log past DurabilityOptions.CheckpointBytes, a background
+// checkpoint must fire on its own — writing a snapshot and pruning the log
+// back under the budget — with no Checkpoint call from the application, and
+// recovery after it must replay only the records past the snapshot.
+func TestCheckpointBytesTrigger(t *testing.T) {
+	dir := t.TempDir()
+	const budget = 16 << 10
+	st, _, err := OpenStore(dir, DurabilityOptions{Sync: "none", CheckpointBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DefineRelation("e", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Each batch appends one multi-kilobyte record; enough of them are
+	// guaranteed to cross the budget no matter how the trigger interleaves.
+	next := int64(0)
+	writeBatch := func() {
+		ins := make([][]int64, 128)
+		for j := range ins {
+			ins[j] = []int64{next % 997, next % 1013}
+			next++
+		}
+		if err := st.Apply("e", ins, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		writeBatch()
+	}
+
+	snapCount := func() int {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "snap-") {
+				n++
+			}
+		}
+		return n
+	}
+	// The checkpoint runs in the background; give it a bounded window to
+	// land. Success = a snapshot exists and the log is pruned back under
+	// the budget.
+	deadline := time.Now().Add(10 * time.Second)
+	for snapCount() == 0 || st.dur.UnprunedBytes() > budget {
+		if time.Now().After(deadline) {
+			t.Fatalf("no size-triggered checkpoint: %d snapshots, %d un-pruned bytes (budget %d)",
+				snapCount(), st.dur.UnprunedBytes(), budget)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	want := storeState(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, info, err := OpenStore(dir, DurabilityOptions{Sync: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if info.SnapshotLSN == 0 {
+		t.Fatal("recovery found no snapshot after the size-triggered checkpoint")
+	}
+	if uint64(info.Replayed) != info.LastLSN-info.SnapshotLSN {
+		t.Fatalf("replayed %d records, want exactly the %d past the snapshot",
+			info.Replayed, info.LastLSN-info.SnapshotLSN)
+	}
+	if d := diffStates(storeState(t, st2), want); d != "" {
+		t.Fatalf("recovered state after size-triggered checkpoint: %s", d)
+	}
+}
+
+// TestCheckpointBytesDisabled pins the default: without CheckpointBytes the
+// same write volume leaves the log un-checkpointed.
+func TestCheckpointBytesDisabled(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := OpenStore(dir, DurabilityOptions{Sync: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.DefineRelation("e", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		ins := make([][]int64, 128)
+		for j := range ins {
+			ins[j] = []int64{(i*128 + int64(j)) % 997, i % 1013}
+		}
+		if err := st.Apply("e", ins, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "snap-") {
+			t.Fatalf("spontaneous checkpoint without CheckpointBytes: %s", e.Name())
+		}
+	}
+	if st.dur.UnprunedBytes() < 16<<10 {
+		t.Fatalf("write volume too small to have crossed the budget: %d bytes", st.dur.UnprunedBytes())
+	}
 }

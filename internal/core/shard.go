@@ -1,0 +1,17 @@
+package core
+
+// ShardHash maps a first-attribute value to a stable 64-bit hash for
+// hash-partitioned routing (splitmix64's finalizer). Both the coordinator
+// (picking a value's owning host) and the executing host (filtering its
+// emission to its own residue class) must agree on this function, and its
+// output must be stable across processes and releases — it is part of the
+// wire-visible shard-spec contract, not an internal detail.
+func ShardHash(v int64) uint64 {
+	x := uint64(v) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -240,6 +240,11 @@ func (m *Manager) LastLSN() uint64 {
 	return m.log.appended
 }
 
+// UnprunedBytes returns the on-disk size of the log segments a checkpoint
+// has not yet pruned — the recovery-replay volume, and the signal
+// size-triggered checkpointing watches.
+func (m *Manager) UnprunedBytes() uint64 { return m.log.unprunedBytes() }
+
 // Checkpoint durably writes rels as the snapshot at lsn — which must be the
 // last LSN already applied to that relation set — then rotates the log and
 // prunes segments and snapshots the new snapshot supersedes. After a

@@ -127,6 +127,7 @@ type log struct {
 	appended uint64 // highest LSN appended (buffered or written)
 	nextLSN  uint64
 	segs     []segment
+	unpruned uint64 // bytes across un-pruned segments (headers + records)
 
 	// sm guards the durability state; cond wakes Commit waiters after each
 	// fsync. syncing doubles as the I/O latch serializing fsync, rotation,
@@ -187,14 +188,25 @@ func (l *log) append(op byte, payload []byte) (uint64, error) {
 	}
 	lsn := l.nextLSN
 	l.nextLSN++
-	l.buf = append(l.buf, encodeRecord(lsn, op, payload)...)
+	rec := encodeRecord(lsn, op, payload)
+	l.buf = append(l.buf, rec...)
 	l.appended = lsn
+	l.unpruned += uint64(len(rec))
 	if len(l.buf) >= bufSize {
 		if err := l.writeOutLocked(); err != nil {
 			return 0, err
 		}
 	}
 	return lsn, nil
+}
+
+// unprunedBytes returns the bytes held across un-pruned segments — the
+// volume recovery would have to re-read (and the disk keeps) until the next
+// checkpoint prunes it.
+func (l *log) unprunedBytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.unpruned
 }
 
 // writeOutLocked drains the append buffer into the OS (no fsync).
@@ -330,6 +342,7 @@ func (l *log) rotate() error {
 			if err == nil {
 				l.f = f
 				l.segs = append(l.segs, segment{first: l.nextLSN, path: segPath(l.dir, l.nextLSN)})
+				l.unpruned += uint64(len(walMagic))
 			}
 		}
 	}
@@ -347,6 +360,13 @@ func (l *log) prune(lsn uint64) {
 	keep := l.segs[:0]
 	for i, s := range l.segs {
 		if i+1 < len(l.segs) && l.segs[i+1].first <= lsn+1 {
+			if fi, err := os.Stat(s.path); err == nil {
+				if sz := uint64(fi.Size()); sz < l.unpruned {
+					l.unpruned -= sz
+				} else {
+					l.unpruned = 0
+				}
+			}
 			os.Remove(s.path)
 			continue
 		}
@@ -540,6 +560,11 @@ func openLog(dir string, policy SyncPolicy, window time.Duration, afterLSN uint6
 	l.appended = next - 1
 	l.synced = next - 1
 	l.segs = segs
+	for _, s := range segs {
+		if fi, err := os.Stat(s.path); err == nil {
+			l.unpruned += uint64(fi.Size())
+		}
+	}
 	if len(segs) == 0 {
 		f, err := createSegment(dir, l.nextLSN)
 		if err != nil {
@@ -547,6 +572,7 @@ func openLog(dir string, policy SyncPolicy, window time.Duration, afterLSN uint6
 		}
 		l.f = f
 		l.segs = []segment{{first: l.nextLSN, path: segPath(dir, l.nextLSN)}}
+		l.unpruned = uint64(len(walMagic))
 	} else {
 		f, err := os.OpenFile(segs[len(segs)-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

@@ -109,6 +109,18 @@ type Options struct {
 	// Stats, when non-nil, receives execution counters from every engine on
 	// the unified core stats surface.
 	Stats *core.StatsCollector
+	// FirstVarRange, when set, restricts execution to first-GAO-variable
+	// values in [Lo, Hi) — the same restriction the §4.10 parallel jobs use
+	// internally, exposed so a coordinator can partition one query's output
+	// space across processes. Count runs single-threaded under a restriction
+	// (the caller owns the parallelism); LFTJ and Minesweeper only.
+	FirstVarRange *Range
+}
+
+// Range restricts the first GAO variable to [Lo, Hi); see
+// Options.FirstVarRange.
+type Range struct {
+	Lo, Hi int64
 }
 
 // New returns the configured engine.
@@ -184,7 +196,11 @@ func (p *parallel) Name() string { return string(p.opts.Algorithm) }
 
 func (p *parallel) single() core.Engine {
 	if p.opts.Algorithm == LFTJ {
-		return lftj.Engine{Opts: lftj.Options{GAO: p.gao(), Backend: p.opts.Backend, Plan: p.opts.Plan, Stats: p.opts.Stats}}
+		opts := lftj.Options{GAO: p.gao(), Backend: p.opts.Backend, Plan: p.opts.Plan, Stats: p.opts.Stats}
+		if r := p.opts.FirstVarRange; r != nil {
+			opts.FirstVarRange = &lftj.Range{Lo: r.Lo, Hi: r.Hi}
+		}
+		return lftj.Engine{Opts: opts}
 	}
 	ms := p.opts.MS
 	if ms.GAO == nil {
@@ -192,6 +208,9 @@ func (p *parallel) single() core.Engine {
 	}
 	if ms.Backend == "" {
 		ms.Backend = p.opts.Backend
+	}
+	if r := p.opts.FirstVarRange; r != nil {
+		ms.FirstVarRange = &minesweeper.Range{Lo: r.Lo, Hi: r.Hi}
 	}
 	ms.Plan = p.opts.Plan
 	ms.Collector = p.opts.Stats
@@ -236,7 +255,10 @@ func (p *parallel) Enumerate(ctx context.Context, q *query.Query, db *core.DB, e
 func (p *parallel) Count(ctx context.Context, q *query.Query, db *core.DB) (int64, error) {
 	p.opts.Stats.Add(core.Stats{Executions: 1})
 	workers := p.workers()
-	if workers <= 1 {
+	// Under an external first-variable restriction the output space is
+	// already one partition of a larger fan-out; splitting it again would
+	// clobber the restriction (rangeCount overwrites FirstVarRange per job).
+	if workers <= 1 || p.opts.FirstVarRange != nil {
 		return p.single().Count(ctx, q, db)
 	}
 	jobs, err := p.splitJobs(q, db, workers*p.granularity(q))

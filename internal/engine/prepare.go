@@ -53,6 +53,38 @@ func Prepare(opts Options, q *query.Query, db *core.DB) (core.Engine, *core.Plan
 	}
 }
 
+// ResolveGAO derives the global attribute order Prepare would fix for the
+// query under these options, without touching any data: GAO resolution is
+// purely structural (query shape plus planner toggles), so a coordinator can
+// compute the order a remote host will execute under and partition or merge
+// on its leading attribute. Mirrors CompilePlan's resolution exactly.
+func ResolveGAO(opts Options, q *query.Query) ([]string, error) {
+	alg, err := ParseAlgorithm(string(opts.Algorithm))
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	userGAO := opts.GAO
+	if alg == MS {
+		if opts.MS.GAO != nil {
+			userGAO = opts.MS.GAO
+		}
+		if userGAO == nil && q.PrefixOrdered() {
+			userGAO = q.Vars()
+		}
+		msOpts := opts.MS
+		msOpts.GAO = userGAO
+		gao, _, _, err := minesweeper.ResolvePlan(q, msOpts)
+		return gao, err
+	}
+	if userGAO != nil {
+		return userGAO, nil
+	}
+	return q.Vars(), nil
+}
+
 // CompilePlan resolves the GAO and binds the GAO-consistent indexes for a
 // plan-aware algorithm, consulting and populating the DB's plan cache. The
 // cache key is the query shape × algorithm × index backend × user-supplied

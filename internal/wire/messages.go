@@ -289,6 +289,19 @@ func EncodeOptions(e *Enc, o repro.Options) {
 	}
 	e.U64(flags)
 	e.Int(o.MaxRows)
+	// The shard spec (protocol version 3): the per-host partition of a
+	// distributed fan-out. Range bounds ride the signed encoding (a range
+	// partitioner's first shard legitimately starts below zero).
+	if o.Shard == nil {
+		e.U64(0)
+		return
+	}
+	e.U64(1)
+	e.Str(o.Shard.Kind)
+	e.I64(o.Shard.Lo)
+	e.I64(o.Shard.Hi)
+	e.U64(o.Shard.Mod)
+	e.U64(o.Shard.Res)
 }
 
 // DecodeOptions consumes engine options from a payload.
@@ -305,6 +318,15 @@ func DecodeOptions(d *Dec) repro.Options {
 	o.DisableSkeleton = flags&flagDisableSkeleton != 0
 	o.DisableCountReuse = flags&flagDisableCountReuse != 0
 	o.MaxRows = d.Int()
+	if d.U64() != 0 {
+		o.Shard = &repro.Shard{
+			Kind: d.Str(),
+			Lo:   d.I64(),
+			Hi:   d.I64(),
+			Mod:  d.U64(),
+			Res:  d.U64(),
+		}
+	}
 	return o
 }
 

@@ -30,8 +30,9 @@ import (
 
 // ProtocolVersion is negotiated in the Hello exchange; the server rejects
 // clients whose major version it does not speak. Version 2 extended the
-// query payload with predicates and aggregate terms.
-const ProtocolVersion = 2
+// query payload with predicates and aggregate terms; version 3 extended the
+// prepare options with the shard spec the distributed router fans out.
+const ProtocolVersion = 3
 
 // MaxFrame bounds a frame's payload (64 MiB). Oversized frames indicate a
 // corrupt or malicious peer; both ends drop the connection.

@@ -39,6 +39,10 @@ type Prepared struct {
 	plan    *core.Plan
 	sc      *core.StatsCollector
 	agg     *aggSpec
+	// shardFilter, for a hash-sharded handle, keeps only the rows of this
+	// shard's residue class; applied to the engine's emission before any
+	// aggregation. nil otherwise (range shards restrict inside the engine).
+	shardFilter func([]int64) bool
 }
 
 // prepare compiles the query against a store (schema checks already done by
@@ -47,6 +51,9 @@ type Prepared struct {
 // algorithm × backend × GAO and invalidated when a relation it reads is
 // replaced — so preparing the same shape twice reuses the first compilation.
 func prepare(s *Store, q *Query, opts Options) (*Prepared, error) {
+	if err := validateShard(opts); err != nil {
+		return nil, err
+	}
 	sc := &core.StatsCollector{}
 	engOpts := opts.engineOptions()
 	engOpts.Stats = sc
@@ -55,7 +62,7 @@ func prepare(s *Store, q *Query, opts Options) (*Prepared, error) {
 		return nil, err
 	}
 	engOpts.Plan = plan
-	return &Prepared{
+	p := &Prepared{
 		s:       s,
 		q:       q,
 		alg:     string(engOpts.Algorithm),
@@ -64,7 +71,58 @@ func prepare(s *Store, q *Query, opts Options) (*Prepared, error) {
 		plan:    plan,
 		sc:      sc,
 		agg:     newAggSpec(q),
-	}, nil
+	}
+	if sh := opts.Shard; sh != nil && sh.Kind == ShardHash {
+		// The emitted row carries the leading GAO attribute at its q.Vars()
+		// position (engines emit full or prefix rows in Vars() order, and a
+		// prefix-ordered GAO leads with Vars()[0]).
+		col := -1
+		for i, v := range q.Vars() {
+			if v == plan.GAO[0] {
+				col = i
+				break
+			}
+		}
+		if col < 0 {
+			return nil, fmt.Errorf("repro: shard attribute %q not an output of query %q", plan.GAO[0], q.Name)
+		}
+		mod, res := sh.Mod, sh.Res
+		p.shardFilter = func(t []int64) bool {
+			return core.ShardHash(t[col])%mod == res
+		}
+	}
+	return p, nil
+}
+
+// validateShard rejects malformed shard specs eagerly, before compilation:
+// only the plan-aware trie engines can restrict their execution to one
+// partition of the output space.
+func validateShard(opts Options) error {
+	sh := opts.Shard
+	if sh == nil {
+		return nil
+	}
+	alg := opts.Algorithm
+	if alg == "" {
+		alg = LFTJ
+	}
+	if alg != LFTJ && alg != MS {
+		return fmt.Errorf("repro: sharded execution: %w (%q cannot restrict its output space; use lftj or ms)",
+			ErrUnsupportedQuery, alg)
+	}
+	switch sh.Kind {
+	case ShardRange:
+		if sh.Lo >= sh.Hi {
+			return fmt.Errorf("repro: shard range [%d, %d) is empty", sh.Lo, sh.Hi)
+		}
+	case ShardHash:
+		if sh.Mod < 1 || sh.Res >= sh.Mod {
+			return fmt.Errorf("repro: shard residue %d mod %d out of range", sh.Res, sh.Mod)
+		}
+	default:
+		return fmt.Errorf("repro: unknown shard kind %q", sh.Kind)
+	}
+	return nil
 }
 
 // Query returns the compiled query.
@@ -77,12 +135,7 @@ func (p *Prepared) Algorithm() string { return p.alg }
 // For aggregate queries that is the number of groups — one tuple per
 // distinct binding of the output variables.
 func (p *Prepared) Count(ctx context.Context) (int64, error) {
-	if p.agg != nil {
-		return p.agg.count(func(emit func([]int64) bool) error {
-			return p.eng.Enumerate(ctx, p.q, p.s.db, emit)
-		})
-	}
-	return p.eng.Count(ctx, p.q, p.s.db)
+	return p.runCount(ctx, p.eng)
 }
 
 // Enumerate executes the compiled plan, streaming result tuples in output
@@ -90,12 +143,53 @@ func (p *Prepared) Count(ctx context.Context) (int64, error) {
 // plain queries that is q.Vars() order). emit returns false to stop early.
 // The tuple slice is reused between calls — copy it to retain it.
 func (p *Prepared) Enumerate(ctx context.Context, emit func([]int64) bool) error {
+	return p.runEnumerate(ctx, p.eng, emit)
+}
+
+// rawEnumerate runs the engine's emission with the hash-shard filter (if
+// any) applied — the stream every aggregation and count consumes.
+func (p *Prepared) rawEnumerate(ctx context.Context, eng core.Engine, emit func([]int64) bool) error {
+	if p.shardFilter == nil {
+		return eng.Enumerate(ctx, p.q, p.s.db, emit)
+	}
+	return eng.Enumerate(ctx, p.q, p.s.db, func(t []int64) bool {
+		if !p.shardFilter(t) {
+			return true
+		}
+		return emit(t)
+	})
+}
+
+// runCount executes the count path on an engine (the handle's own, or one
+// pinned to a transaction snapshot): aggregate queries count groups, hash
+// shards count their filtered emission, everything else uses the engine's
+// count mode.
+func (p *Prepared) runCount(ctx context.Context, eng core.Engine) (int64, error) {
+	if p.agg != nil {
+		return p.agg.count(func(emit func([]int64) bool) error {
+			return p.rawEnumerate(ctx, eng, emit)
+		})
+	}
+	if p.shardFilter != nil {
+		var n int64
+		err := p.rawEnumerate(ctx, eng, func([]int64) bool {
+			n++
+			return true
+		})
+		return n, err
+	}
+	return eng.Count(ctx, p.q, p.s.db)
+}
+
+// runEnumerate executes the enumeration path on an engine, folding the
+// aggregation spec over the (possibly shard-filtered) emission.
+func (p *Prepared) runEnumerate(ctx context.Context, eng core.Engine, emit func([]int64) bool) error {
 	if p.agg != nil {
 		return p.agg.run(func(e func([]int64) bool) error {
-			return p.eng.Enumerate(ctx, p.q, p.s.db, e)
+			return p.rawEnumerate(ctx, eng, e)
 		}, emit)
 	}
-	return p.eng.Enumerate(ctx, p.q, p.s.db, emit)
+	return p.rawEnumerate(ctx, eng, emit)
 }
 
 // Rows executes the compiled plan as a streaming iterator over result

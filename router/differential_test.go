@@ -1,0 +1,665 @@
+package router_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/client"
+	"repro/router"
+	"repro/server"
+)
+
+// wallCorpus spans the query language surface the router must merge
+// correctly: full joins, projection, reordered heads, in-atom constants,
+// comparison predicates, grouped and global aggregates, empty results, and
+// the single-shard fast path.
+var wallCorpus = []string{
+	"edge(a, b), edge(b, c)",
+	"out(a) :- edge(a, b), edge(b, c)",
+	"out(c, a) :- edge(a, b), edge(b, c)",
+	"edge(3, b), edge(b, c)",
+	"edge(a, b), a < 50, b >= 20",
+	"edge(a, b), edge(b, c), a != c",
+	"edge(a, b), edge(b, c), a = 7",
+	"deg(a, count(b)) :- edge(a, b)",
+	"stats(a, sum(c), min(c), max(c)) :- edge(a, b), edge(b, c)",
+	"total(count(a)) :- edge(a, b), a >= 50",
+	"total(sum(b), min(b), max(b)) :- edge(a, b)",
+	"total(count(a)) :- edge(a, b), a >= 1000",
+	"hot(b, count(c)) :- edge(2, b), edge(b, c)",
+}
+
+// wallEdges is the shared deterministic edge set (keys in [0, 100)).
+func wallEdges(m, nodes int64) [][]int64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	next := func() int64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int64(x % uint64(nodes))
+	}
+	seen := make(map[[2]int64]bool)
+	var edges [][]int64
+	for int64(len(edges)) < m {
+		a, b := next(), next()
+		if a == b || seen[[2]int64{a, b}] {
+			continue
+		}
+		seen[[2]int64{a, b}] = true
+		edges = append(edges, []int64{a, b})
+	}
+	return edges
+}
+
+func edgeStore(t *testing.T, edges [][]int64) *repro.Store {
+	t.Helper()
+	st := repro.NewStore()
+	if err := st.DefineRelation("edge", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Load("edge", edges); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// cluster builds an oracle store plus a router over n identical replicas.
+func cluster(t *testing.T, n int, part router.Partitioner) (*repro.Store, *router.Router) {
+	t.Helper()
+	edges := wallEdges(500, 100)
+	oracle := edgeStore(t, edges)
+	hosts := make([]repro.Querier, n)
+	for i := range hosts {
+		hosts[i] = repro.Local(edgeStore(t, edges))
+	}
+	r, err := router.New(hosts, nil, router.Config{Partitioner: part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return oracle, r
+}
+
+func collectRows(ctx context.Context, enumerate func(context.Context, func([]int64) bool) error) ([][]int64, error) {
+	var rows [][]int64
+	err := enumerate(ctx, func(row []int64) bool {
+		rows = append(rows, append([]int64(nil), row...))
+		return true
+	})
+	return rows, err
+}
+
+// TestRouterDifferentialWall is the acceptance differential: a routed
+// cluster must produce byte-identical results to a single store across the
+// corpus × both trie-driven engines × {2, 3} shards × {range, hash}
+// partitioning — same counts, same rows, same order.
+func TestRouterDifferentialWall(t *testing.T) {
+	ctx := context.Background()
+	partitioners := map[int]map[string]router.Partitioner{
+		2: {"range": router.RangePartitioner(50), "hash": router.HashPartitioner()},
+		3: {"range": router.RangePartitioner(33, 66), "hash": router.HashPartitioner()},
+	}
+	for n, parts := range partitioners {
+		for pname, part := range parts {
+			t.Run(fmt.Sprintf("shards=%d/%s", n, pname), func(t *testing.T) {
+				oracle, r := cluster(t, n, part)
+				for _, src := range wallCorpus {
+					q, err := oracle.ParseQuery("q", src)
+					if err != nil {
+						t.Fatalf("%s: %v", src, err)
+					}
+					for _, alg := range []repro.Algorithm{repro.LFTJ, repro.MS} {
+						opts := repro.Options{Algorithm: alg, Workers: 1}
+						wantN, err := oracle.Count(ctx, q, opts)
+						if err != nil {
+							t.Fatalf("%s/%s: oracle count: %v", src, alg, err)
+						}
+						gotN, err := r.Count(ctx, q, opts)
+						if err != nil {
+							t.Fatalf("%s/%s: routed count: %v", src, alg, err)
+						}
+						if gotN != wantN {
+							t.Errorf("%s/%s: routed count %d, oracle %d", src, alg, gotN, wantN)
+						}
+						want, err := collectRows(ctx, func(ctx context.Context, emit func([]int64) bool) error {
+							return oracle.Enumerate(ctx, q, opts, emit)
+						})
+						if err != nil {
+							t.Fatalf("%s/%s: oracle rows: %v", src, alg, err)
+						}
+						got, err := collectRows(ctx, func(ctx context.Context, emit func([]int64) bool) error {
+							return r.Enumerate(ctx, q, opts, emit)
+						})
+						if err != nil {
+							t.Fatalf("%s/%s: routed rows: %v", src, alg, err)
+						}
+						if len(got) != len(want) {
+							t.Fatalf("%s/%s: routed %d rows, oracle %d", src, alg, len(got), len(want))
+						}
+						for i := range want {
+							if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+								t.Fatalf("%s/%s: row %d: routed %v, oracle %v", src, alg, i, got[i], want[i])
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRouterChurnInvariant drives atomic cross-shard moves through the
+// router while concurrent readers count. Every Apply deletes one edge and
+// inserts it under a key on the other side of the shard boundary in the
+// same batch, so the total edge count is invariant at every write
+// generation — any torn fan-out (two hosts read at different generations)
+// shows up as a count off by one.
+func TestRouterChurnInvariant(t *testing.T) {
+	ctx := context.Background()
+	const total = 300
+	tuples := make([][]int64, total)
+	keys := make([]int64, total)
+	for i := range tuples {
+		keys[i] = int64(i % 100)
+		tuples[i] = []int64{keys[i], int64(1000 + i)}
+	}
+	mk := func() *repro.Store {
+		st := repro.NewStore()
+		if err := st.DefineRelation("edge", 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Load("edge", tuples); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	hosts := []repro.Querier{repro.Local(mk()), repro.Local(mk())}
+	r, err := router.New(hosts, nil, router.Config{Partitioner: router.RangePartitioner(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	q, err := r.ParseQuery("all", "edge(a, b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer: atomic cross-boundary moves. The second column is unique per
+	// tuple, so inserts never collide and the count stays exactly total.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for iter := 0; iter < 400; iter++ {
+			i := iter % total
+			old := keys[i]
+			next := (old + 61) % 100
+			err := r.Apply("edge", [][]int64{{next, int64(1000 + i)}}, [][]int64{{old, int64(1000 + i)}})
+			if err != nil {
+				t.Errorf("churn apply: %v", err)
+				return
+			}
+			keys[i] = next
+		}
+	}()
+
+	// Readers: the routed count must equal total at every generation.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := r.Count(ctx, q, repro.Options{Workers: 1})
+				if err != nil {
+					t.Errorf("routed count under churn: %v", err)
+					return
+				}
+				if n != total {
+					t.Errorf("torn fan-out: routed count %d, want %d", n, total)
+					return
+				}
+			}
+		}()
+	}
+
+	// Snapshot reader: a distributed ReadTxn must pin one generation — two
+	// counts through the same lease agree exactly. Handles are prepared
+	// before the transaction opens, per the Txn pinning contract.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p, err := r.Prepare(q, repro.Options{Workers: 1})
+		if err != nil {
+			t.Errorf("prepare under churn: %v", err)
+			return
+		}
+		defer p.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			txn, err := r.ReadTxn()
+			if err != nil {
+				t.Errorf("ReadTxn under churn: %v", err)
+				return
+			}
+			a, err1 := txn.Count(ctx, p)
+			b, err2 := txn.Count(ctx, p)
+			txn.Close()
+			if err1 != nil || err2 != nil {
+				t.Errorf("txn counts under churn: %v / %v", err1, err2)
+				return
+			}
+			if a != b || a != total {
+				t.Errorf("lease not pinned: counts %d then %d, want stable %d", a, b, total)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+}
+
+// TestRouterTxnPinsSnapshot checks the distributed lease against broadcast
+// writes landing after it opened: the transaction keeps answering from the
+// pinned generation while direct reads see the new rows.
+func TestRouterTxnPinsSnapshot(t *testing.T) {
+	ctx := context.Background()
+	edges := wallEdges(200, 100)
+	hosts := []repro.Querier{repro.Local(edgeStore(t, edges)), repro.Local(edgeStore(t, edges)), repro.Local(edgeStore(t, edges))}
+	r, err := router.New(hosts, nil, router.Config{Partitioner: router.HashPartitioner()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	q, err := r.ParseQuery("all", "edge(a, b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Prepare(q, repro.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	txn, err := r.ReadTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txn.Close()
+	before, err := txn.Count(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.Apply("edge", [][]int64{{500, 501}, {502, 503}}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	pinned, err := txn.Count(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned != before {
+		t.Fatalf("lease leaked writes: pinned count %d, was %d", pinned, before)
+	}
+	rows, err := collectRows(ctx, func(ctx context.Context, emit func([]int64) bool) error {
+		return txn.Enumerate(ctx, p, emit)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(rows)) != before {
+		t.Fatalf("pinned enumeration %d rows, want %d", len(rows), before)
+	}
+	fresh, err := p.Count(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != before+2 {
+		t.Fatalf("direct count %d after apply, want %d", fresh, before+2)
+	}
+}
+
+// TestRouterBatch checks batch fan-out: results match the oracle, and a
+// handle prepared elsewhere fails its own request without poisoning the
+// batch.
+func TestRouterBatch(t *testing.T) {
+	ctx := context.Background()
+	oracle, r := cluster(t, 3, router.HashPartitioner())
+
+	q1, _ := oracle.ParseQuery("tri", "edge(a, b), edge(b, c)")
+	q2, _ := oracle.ParseQuery("deg", "deg(a, count(b)) :- edge(a, b)")
+	p1, err := r.Prepare(q1, repro.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	p2, err := r.Prepare(q2, repro.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	foreign, err := oracle.Prepare(q1, repro.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := r.Batch(ctx, []repro.BatchRequest{
+		{Prepared: p1, Rows: true},
+		{Prepared: p2, Rows: true},
+		{Prepared: foreign},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(res))
+	}
+	for i, q := range []*repro.Query{q1, q2} {
+		if res[i].Err != nil {
+			t.Fatalf("batch request %d: %v", i, res[i].Err)
+		}
+		wantN, err := oracle.Count(ctx, q, repro.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[i].Count != wantN {
+			t.Errorf("batch request %d: count %d, oracle %d", i, res[i].Count, wantN)
+		}
+		want, err := collectRows(ctx, func(ctx context.Context, emit func([]int64) bool) error {
+			return oracle.Enumerate(ctx, q, repro.Options{Workers: 1}, emit)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(res[i].Rows) != fmt.Sprint(want) {
+			t.Errorf("batch request %d: rows diverge from oracle", i)
+		}
+	}
+	if !errors.Is(res[2].Err, repro.ErrForeignPrepared) {
+		t.Errorf("foreign handle error = %v, want ErrForeignPrepared", res[2].Err)
+	}
+}
+
+// errHostDown is the sentinel a crashing replica reports mid-stream.
+var errHostDown = errors.New("simulated host crash")
+
+// flakyQuerier wraps a healthy replica and makes every transaction
+// enumeration die after a few rows, modelling a host crashing mid-stream.
+type flakyQuerier struct {
+	repro.Querier
+	failAfter int
+}
+
+func (f *flakyQuerier) ReadTxn() (repro.QueryTxn, error) {
+	txn, err := f.Querier.ReadTxn()
+	if err != nil {
+		return nil, err
+	}
+	return &flakyTxn{QueryTxn: txn, failAfter: f.failAfter}, nil
+}
+
+type flakyTxn struct {
+	repro.QueryTxn
+	failAfter int
+}
+
+func (t *flakyTxn) Enumerate(ctx context.Context, p repro.PreparedQuery, emit func([]int64) bool) error {
+	n := 0
+	dead := false
+	err := t.QueryTxn.Enumerate(ctx, p, func(row []int64) bool {
+		if n >= t.failAfter {
+			dead = true
+			return false
+		}
+		n++
+		return emit(row)
+	})
+	if err != nil {
+		return err
+	}
+	if dead {
+		return errHostDown
+	}
+	return nil
+}
+
+// TestRouterHostFailureMidStream pins the failure contract: a host dying
+// mid-enumeration surfaces promptly as a typed *HostError naming the host,
+// the merged stream ends (no hang), and the rows emitted before the failure
+// are a correct order-preserving prefix.
+func TestRouterHostFailureMidStream(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	edges := wallEdges(500, 100)
+	healthy := repro.Local(edgeStore(t, edges))
+	flaky := &flakyQuerier{Querier: repro.Local(edgeStore(t, edges)), failAfter: 3}
+	r, err := router.New([]repro.Querier{healthy, flaky}, []string{"good", "bad"}, router.Config{Partitioner: router.HashPartitioner()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	q, err := r.ParseQuery("tri", "edge(a, b), edge(b, c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Prepare(q, repro.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var streamErr error
+	var got [][]int64
+	for row, err := range p.RowsErr(ctx) {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		got = append(got, row)
+	}
+	var he *router.HostError
+	if !errors.As(streamErr, &he) {
+		t.Fatalf("mid-stream failure surfaced as %v, want *HostError", streamErr)
+	}
+	if he.Host != "bad" {
+		t.Errorf("failure attributed to host %q, want \"bad\"", he.Host)
+	}
+	if !errors.Is(streamErr, errHostDown) {
+		t.Errorf("HostError does not wrap the host's own error: %v", streamErr)
+	}
+	// The prefix that did arrive must be ordered on the merge attribute.
+	for i := 1; i < len(got); i++ {
+		if got[i][0] < got[i-1][0] {
+			t.Fatalf("pre-failure prefix out of order at row %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+
+	// A plain Enumerate reports the same typed failure.
+	err = p.Enumerate(ctx, func([]int64) bool { return true })
+	if !errors.As(err, &he) || !errors.Is(err, errHostDown) {
+		t.Fatalf("Enumerate failure = %v, want *HostError wrapping host crash", err)
+	}
+}
+
+// TestRouterHostKilledMidStreamWire repeats the mid-stream kill over the
+// real wire protocol: two graphjoind servers, a router dialled to both, and
+// one server hard-closed while the merged stream drains. The router must
+// return a typed *HostError promptly instead of hanging on the dead host.
+func TestRouterHostKilledMidStreamWire(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	edges := wallEdges(600, 100)
+	var addrs []string
+	var servers []*server.Server
+	for i := 0; i < 2; i++ {
+		srv := server.NewSingle(edgeStore(t, edges))
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(l)
+		t.Cleanup(func() { srv.Close() })
+		servers = append(servers, srv)
+		addrs = append(addrs, l.Addr().String())
+	}
+
+	r, err := router.Open(ctx, []router.HostSpec{{Addr: addrs[0]}, {Addr: addrs[1]}}, router.Config{
+		Partitioner:    router.HashPartitioner(),
+		RequestTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	q, err := r.ParseQuery("tri", "edge(a, b), edge(b, c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Prepare(q, repro.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	start := time.Now()
+	rows := 0
+	var streamErr error
+	for _, err := range p.RowsErr(ctx) {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if rows == 0 {
+			servers[1].Close() // hard-kill one shard mid-drain
+		}
+		rows++
+	}
+	if streamErr == nil {
+		t.Fatal("stream completed cleanly despite a killed shard")
+	}
+	var he *router.HostError
+	if !errors.As(streamErr, &he) {
+		t.Fatalf("killed shard surfaced as %v, want *HostError", streamErr)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("stream took %v to fail after the kill", elapsed)
+	}
+	if rows == 0 {
+		t.Error("no rows drained before the kill was noticed")
+	}
+}
+
+// TestRouterOverWire runs a slice of the differential wall through real
+// connections — router.Open against live graphjoind servers — to pin the
+// wire encoding of shard specs end to end.
+func TestRouterOverWire(t *testing.T) {
+	ctx := context.Background()
+	edges := wallEdges(300, 100)
+	oracle := edgeStore(t, edges)
+	var specs []router.HostSpec
+	for i := 0; i < 3; i++ {
+		srv := server.NewSingle(edgeStore(t, edges))
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(l)
+		t.Cleanup(func() { srv.Close() })
+		specs = append(specs, router.HostSpec{Addr: l.Addr().String()})
+	}
+	for pname, part := range map[string]router.Partitioner{
+		"range": router.RangePartitioner(33, 66),
+		"hash":  router.HashPartitioner(),
+	} {
+		t.Run(pname, func(t *testing.T) {
+			r, err := router.Open(ctx, specs, router.Config{Partitioner: part})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			for _, src := range wallCorpus {
+				q, err := oracle.ParseQuery("q", src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := repro.Options{Algorithm: repro.LFTJ, Workers: 1}
+				wantN, err := oracle.Count(ctx, q, opts)
+				if err != nil {
+					t.Fatalf("%s: oracle: %v", src, err)
+				}
+				gotN, err := r.Count(ctx, q, opts)
+				if err != nil {
+					t.Fatalf("%s: routed: %v", src, err)
+				}
+				if gotN != wantN {
+					t.Errorf("%s: routed count %d, oracle %d", src, gotN, wantN)
+				}
+				want, err := collectRows(ctx, func(ctx context.Context, emit func([]int64) bool) error {
+					return oracle.Enumerate(ctx, q, opts, emit)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := collectRows(ctx, func(ctx context.Context, emit func([]int64) bool) error {
+					return r.Enumerate(ctx, q, opts, emit)
+				})
+				if err != nil {
+					t.Fatalf("%s: routed rows: %v", src, err)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Errorf("%s: routed rows diverge from oracle (%d vs %d rows)", src, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestRouterStatsMerge checks that the routed handle's counters aggregate
+// across hosts: after an execution, the summed statistics are non-trivial.
+func TestRouterStatsMerge(t *testing.T) {
+	ctx := context.Background()
+	_, r := cluster(t, 2, router.RangePartitioner(50))
+	q, err := r.ParseQuery("tri", "edge(a, b), edge(b, c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Prepare(q, repro.Options{Algorithm: repro.LFTJ, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Count(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats(); got.Executions == 0 || got.Outputs == 0 {
+		t.Errorf("merged stats show no executions/outputs: %+v", got)
+	}
+}
+
+// client.Dial is exercised through router.Open above; keep the import
+// anchored for the dial-option plumbing check below.
+var _ = client.WithDialRetry

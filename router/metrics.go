@@ -1,0 +1,66 @@
+package router
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// routerMetrics is the coordinator's serving instrumentation: how wide
+// fan-outs run, how long each host takes, how far the slowest host trails
+// the fastest (the straggler gap a §4.10-style partitioned execution is
+// bounded by), and how often overloaded hosts force retries.
+type routerMetrics struct {
+	fanout    *metrics.Histogram            // hosts touched per fanned-out execution
+	straggler *metrics.Histogram            // slowest minus fastest host seconds per fan-out
+	retries   *metrics.Counter              // idempotent-read retries after ErrOverloaded
+	hostLat   map[string]*metrics.Histogram // per-host request duration, by host label
+}
+
+func newRouterMetrics(hosts []string) *routerMetrics {
+	reg := metrics.Default()
+	m := &routerMetrics{
+		fanout: reg.HistogramBuckets("graphjoinrouter_fanout_width",
+			"Hosts touched per fanned-out query execution.", metrics.SizeBuckets),
+		straggler: reg.Histogram("graphjoinrouter_straggler_gap_seconds",
+			"Per-fan-out gap between the slowest and fastest host."),
+		retries: reg.Counter("graphjoinrouter_retries_total",
+			"Idempotent read requests retried after a host admission rejection."),
+		hostLat: make(map[string]*metrics.Histogram, len(hosts)),
+	}
+	for _, h := range hosts {
+		m.hostLat[h] = reg.Histogram("graphjoinrouter_host_request_seconds",
+			"Per-host request duration as observed by the router.", "host", h)
+	}
+	return m
+}
+
+// observeHost records one host request's duration.
+func (m *routerMetrics) observeHost(host string, d time.Duration) {
+	if h, ok := m.hostLat[host]; ok {
+		h.Observe(d.Seconds())
+	}
+}
+
+// observeFanout records one fan-out's width and straggler gap from the
+// per-host durations (zero entries mean the host was skipped).
+func (m *routerMetrics) observeFanout(durations []time.Duration) {
+	width := 0
+	var fastest, slowest time.Duration
+	for _, d := range durations {
+		if d <= 0 {
+			continue
+		}
+		if width == 0 || d < fastest {
+			fastest = d
+		}
+		if d > slowest {
+			slowest = d
+		}
+		width++
+	}
+	m.fanout.Observe(float64(width))
+	if width > 1 {
+		m.straggler.Observe((slowest - fastest).Seconds())
+	}
+}

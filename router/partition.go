@@ -1,0 +1,101 @@
+package router
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro"
+	"repro/internal/core"
+)
+
+// Partitioner maps the leading-GAO-attribute domain onto cluster hosts. The
+// shards it hands out must be disjoint and cover the whole value domain —
+// that is what makes per-host counts sum to the cluster count and per-host
+// streams merge into the single-store stream. Two strategies ship: range
+// partitioning (RangePartitioner — contiguous value bands, cheap in the trie
+// cursors, sensitive to skew) and hash partitioning (HashPartitioner —
+// residue classes of a stable 64-bit hash, skew-resistant, applied as an
+// emission filter).
+type Partitioner interface {
+	// Name identifies the strategy ("range", "hash") for diagnostics.
+	Name() string
+	// Shards returns one shard spec per host, partitioning the domain
+	// across n hosts. It fails when the strategy cannot produce exactly n
+	// disjoint covering shards (e.g. a range partitioner configured with
+	// the wrong number of boundaries).
+	Shards(n int) ([]repro.Shard, error)
+	// Owner returns the index of the host whose shard holds leading-
+	// attribute value v, consistent with Shards: Owner(v, n) is the unique
+	// i whose Shards(n)[i] admits v.
+	Owner(v int64, n int) int
+}
+
+// RangePartitioner partitions by contiguous value bands: with boundaries
+// b1 < b2 < ... < b(n-1), host 0 owns (-inf, b1), host i owns [bi, b(i+1)),
+// and the last host owns [b(n-1), +inf). The host count is fixed by the
+// boundary count (len(boundaries)+1 hosts). Range shards push into the trie
+// cursors, so each host touches only its band of the leading index level.
+func RangePartitioner(boundaries ...int64) Partitioner {
+	bs := append([]int64(nil), boundaries...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	return rangePart{bs}
+}
+
+type rangePart struct{ bounds []int64 }
+
+func (p rangePart) Name() string { return "range" }
+
+func (p rangePart) Shards(n int) ([]repro.Shard, error) {
+	if n != len(p.bounds)+1 {
+		return nil, fmt.Errorf("router: range partitioner has %d boundaries (%d shards), cluster has %d hosts",
+			len(p.bounds), len(p.bounds)+1, n)
+	}
+	shards := make([]repro.Shard, n)
+	for i := range shards {
+		lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+		if i > 0 {
+			lo = p.bounds[i-1]
+		}
+		if i < len(p.bounds) {
+			hi = p.bounds[i]
+		}
+		shards[i] = repro.Shard{Kind: repro.ShardRange, Lo: lo, Hi: hi}
+	}
+	return shards, nil
+}
+
+func (p rangePart) Owner(v int64, n int) int {
+	// First boundary strictly above v selects the band.
+	i := sort.Search(len(p.bounds), func(i int) bool { return v < p.bounds[i] })
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// HashPartitioner partitions by residue class of the wire-stable
+// core.ShardHash: host i owns the values v with ShardHash(v) mod n == i.
+// It adapts to any host count and resists value skew, at the cost of every
+// host scanning its full leading index level (the shard applies as an
+// emission filter, not a cursor restriction).
+func HashPartitioner() Partitioner { return hashPart{} }
+
+type hashPart struct{}
+
+func (hashPart) Name() string { return "hash" }
+
+func (hashPart) Shards(n int) ([]repro.Shard, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("router: hash partitioner needs at least one host")
+	}
+	shards := make([]repro.Shard, n)
+	for i := range shards {
+		shards[i] = repro.Shard{Kind: repro.ShardHash, Mod: uint64(n), Res: uint64(i)}
+	}
+	return shards, nil
+}
+
+func (hashPart) Owner(v int64, n int) int {
+	return int(core.ShardHash(v) % uint64(n))
+}

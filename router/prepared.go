@@ -1,0 +1,415 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/client"
+	"repro/internal/query"
+)
+
+// streamBuf is the per-host row buffer of a merged stream: how far one
+// host's producer may run ahead of the merge point before blocking.
+const streamBuf = 64
+
+// Prepared is a routed prepared query: one downstream handle per
+// participating host, plus the merge shape decided at Prepare time. It
+// satisfies repro.PreparedQuery; executions fan out and merge (or run
+// shard-local for single-host-routed queries). Safe for concurrent use.
+type Prepared struct {
+	r   *Router
+	q   *repro.Query
+	alg string
+
+	// hosts are the downstream handles; hostIdx maps each to its global
+	// host index in the router topology. A single-routed query has one
+	// entry; a fanned-out query has one per host.
+	hosts   []repro.PreparedQuery
+	hostIdx []int
+	single  bool
+
+	// mergeCol is the output-row column carrying the leading GAO attribute
+	// — the k-way merge key. Shards partition exactly that attribute, so
+	// per-host value sets are disjoint and merging on it reproduces the
+	// single-store enumeration order.
+	mergeCol int
+	// globalAgg marks an empty-group-by aggregate query: each host reports
+	// one partial row (or none), folded rather than merged.
+	globalAgg bool
+	aggs      []query.Agg
+}
+
+var _ repro.PreparedQuery = (*Prepared)(nil)
+
+// Query returns the compiled query.
+func (p *Prepared) Query() *repro.Query { return p.q }
+
+// Algorithm returns the engine the query was compiled for on the hosts.
+func (p *Prepared) Algorithm() string { return p.alg }
+
+// Close releases every downstream handle.
+func (p *Prepared) Close() error {
+	var first error
+	for i, h := range p.hosts {
+		if err := h.Close(); err != nil && first == nil {
+			first = p.r.hostErr(p.hostIdx[i], err)
+		}
+	}
+	return first
+}
+
+// Stats sums the execution counters across the downstream handles.
+func (p *Prepared) Stats() repro.ExecStats {
+	var s repro.ExecStats
+	for _, h := range p.hosts {
+		s.Merge(h.Stats())
+	}
+	return s
+}
+
+// Count executes across the cluster and returns the merged cardinality:
+// the sum of per-shard counts (disjoint covering shards), except for
+// empty-group-by aggregates, whose single global group exists iff any host
+// contributes to it.
+func (p *Prepared) Count(ctx context.Context) (int64, error) {
+	return p.count(ctx, nil)
+}
+
+// Enumerate streams the merged results: per-host streams k-way-merged on
+// the leading GAO attribute (byte-identical to a single store's stream),
+// or the folded partial row for empty-group-by aggregates. emit returns
+// false to stop early, which cancels every host's execution.
+func (p *Prepared) Enumerate(ctx context.Context, emit func([]int64) bool) error {
+	return p.enumerate(ctx, nil, emit)
+}
+
+// Rows is Enumerate as a streaming iterator; each yielded slice is owned by
+// the consumer.
+func (p *Prepared) Rows(ctx context.Context) iter.Seq[[]int64] {
+	return rowsSeq(p.Enumerate, ctx)
+}
+
+// RowsErr is Rows with an explicit error: (tuple, nil) per result and a
+// final (nil, err) pair if any host fails mid-stream.
+func (p *Prepared) RowsErr(ctx context.Context) iter.Seq2[[]int64, error] {
+	return rowsErrSeq(p.Enumerate, ctx)
+}
+
+// hostCtx derives the context for one per-host unary request, applying the
+// router's per-host request timeout when configured.
+func (p *Prepared) hostCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.r.reqTimeout > 0 {
+		return context.WithTimeout(ctx, p.r.reqTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// retryUnary runs one idempotent per-host unary read with the router's
+// bounded retry: admission rejections (client.ErrOverloaded) back off and
+// retry; everything else returns immediately.
+func (p *Prepared) retryUnary(ctx context.Context, f func(ctx context.Context) error) error {
+	backoff := p.r.retryBackoff
+	for attempt := 0; ; attempt++ {
+		hctx, cancel := p.hostCtx(ctx)
+		err := f(hctx)
+		cancel()
+		if err == nil || attempt >= p.r.maxRetries || !errors.Is(err, client.ErrOverloaded) {
+			return err
+		}
+		p.r.met.retries.Inc()
+		select {
+		case <-time.After(backoff):
+			backoff *= 2
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// countOn runs one host's count, inside txns when provided.
+func (p *Prepared) countOn(ctx context.Context, i int, txns []repro.QueryTxn) (int64, error) {
+	var n int64
+	err := p.retryUnary(ctx, func(ctx context.Context) error {
+		var err error
+		if txns != nil {
+			n, err = txns[p.hostIdx[i]].Count(ctx, p.hosts[i])
+		} else {
+			n, err = p.hosts[i].Count(ctx)
+		}
+		return err
+	})
+	return n, err
+}
+
+// snapshot returns the per-host transactions the execution should run
+// under: the caller's (from a user-level Txn), or a fresh internal
+// distributed read-transaction so a fan-out observes one write generation
+// across hosts. release is a no-op for caller-provided transactions.
+func (p *Prepared) snapshot(txns []repro.QueryTxn) (_ []repro.QueryTxn, release func(), err error) {
+	if txns != nil {
+		return txns, func() {}, nil
+	}
+	t, err := p.r.ReadTxn()
+	if err != nil {
+		return nil, nil, err
+	}
+	dt := t.(*Txn)
+	return dt.txns, func() { dt.Close() }, nil
+}
+
+func (p *Prepared) count(ctx context.Context, txns []repro.QueryTxn) (int64, error) {
+	if p.single {
+		return p.countOn(ctx, 0, txns)
+	}
+	txns, release, err := p.snapshot(txns)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	n := len(p.hosts)
+	counts := make([]int64, n)
+	errs := make([]error, n)
+	durations := make([]time.Duration, n)
+	var wg sync.WaitGroup
+	for i := range p.hosts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			counts[i], errs[i] = p.countOn(ctx, i, txns)
+			durations[i] = time.Since(start)
+			p.r.met.observeHost(p.r.names[p.hostIdx[i]], durations[i])
+		}(i)
+	}
+	wg.Wait()
+	p.r.met.observeFanout(durations)
+	for i, err := range errs {
+		if err != nil {
+			return 0, p.r.hostErr(p.hostIdx[i], err)
+		}
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if p.globalAgg {
+		// The single global group exists iff any host saw a row; per-host
+		// counts are each 0 or 1 and must not sum.
+		if total > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return total, nil
+}
+
+func (p *Prepared) enumerate(ctx context.Context, txns []repro.QueryTxn, emit func([]int64) bool) error {
+	if p.single {
+		if txns != nil {
+			return txns[p.hostIdx[0]].Enumerate(ctx, p.hosts[0], emit)
+		}
+		return p.hosts[0].Enumerate(ctx, emit)
+	}
+	txns, release, err := p.snapshot(txns)
+	if err != nil {
+		return err
+	}
+	defer release()
+	if p.globalAgg {
+		return p.foldPartials(ctx, txns, emit)
+	}
+	return p.mergeStreams(ctx, txns, emit)
+}
+
+// foldPartials collects each host's partial aggregate row (zero or one per
+// host — the host's fold over its shard of the distinct bindings) and folds
+// them into the global row: count and sum partials add, min/max partials
+// fold. Hosts whose shard is empty contribute nothing; if every shard is
+// empty the merged query emits nothing, matching a single store.
+func (p *Prepared) foldPartials(ctx context.Context, txns []repro.QueryTxn, emit func([]int64) bool) error {
+	n := len(p.hosts)
+	partials := make([][]int64, n)
+	errs := make([]error, n)
+	durations := make([]time.Duration, n)
+	var wg sync.WaitGroup
+	for i := range p.hosts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			errs[i] = txns[p.hostIdx[i]].Enumerate(ctx, p.hosts[i], func(row []int64) bool {
+				partials[i] = append([]int64(nil), row...)
+				return true
+			})
+			durations[i] = time.Since(start)
+			p.r.met.observeHost(p.r.names[p.hostIdx[i]], durations[i])
+		}(i)
+	}
+	wg.Wait()
+	p.r.met.observeFanout(durations)
+	for i, err := range errs {
+		if err != nil {
+			return p.r.hostErr(p.hostIdx[i], err)
+		}
+	}
+	var acc []int64
+	for _, part := range partials {
+		if part == nil {
+			continue
+		}
+		if acc == nil {
+			acc = part
+			continue
+		}
+		for j, ag := range p.aggs {
+			switch ag.Func {
+			case query.AggCount, query.AggSum:
+				acc[j] += part[j]
+			case query.AggMin:
+				acc[j] = min(acc[j], part[j])
+			case query.AggMax:
+				acc[j] = max(acc[j], part[j])
+			}
+		}
+	}
+	if acc != nil {
+		emit(acc)
+	}
+	return nil
+}
+
+// mergeStreams runs every host's shard stream concurrently and k-way-merges
+// them on the leading GAO attribute. Shards partition that attribute, so
+// per-host value sets are disjoint and picking the smallest head value
+// reproduces the single-store GAO-lexicographic order exactly. A host
+// failing mid-stream (killed, overloaded, unreachable) cancels the others
+// and fails the merge with a typed *HostError — never a silently truncated
+// stream. The consumer stopping (emit false) cancels every host's
+// execution.
+func (p *Prepared) mergeStreams(ctx context.Context, txns []repro.QueryTxn, emit func([]int64) bool) error {
+	hctx, cancel := context.WithCancel(ctx)
+	n := len(p.hosts)
+	type hostStream struct {
+		ch  chan []int64
+		err chan error
+	}
+	streams := make([]hostStream, n)
+	start := time.Now()
+	durations := make([]time.Duration, n)
+	var wg sync.WaitGroup
+	defer func() {
+		// Stop the producers before returning so no host keeps executing
+		// against a transaction the caller is about to close.
+		cancel()
+		for i := range streams {
+			for range streams[i].ch { // unblock producers waiting for buffer space
+			}
+		}
+		wg.Wait()
+		p.r.met.observeFanout(durations)
+	}()
+	for i := range p.hosts {
+		streams[i] = hostStream{ch: make(chan []int64, streamBuf), err: make(chan error, 1)}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := txns[p.hostIdx[i]].Enumerate(hctx, p.hosts[i], func(row []int64) bool {
+				cp := append([]int64(nil), row...)
+				select {
+				case streams[i].ch <- cp:
+					return true
+				case <-hctx.Done():
+					return false
+				}
+			})
+			durations[i] = time.Since(start)
+			p.r.met.observeHost(p.r.names[p.hostIdx[i]], durations[i])
+			streams[i].err <- err
+			close(streams[i].ch)
+		}(i)
+	}
+
+	heads := make([][]int64, n)
+	active := 0
+	// advance loads host i's next head row; on stream end it reaps the
+	// host's error (the err channel is written before the row channel
+	// closes, so the receive never blocks).
+	advance := func(i int) (bool, error) {
+		row, ok := <-streams[i].ch
+		if ok {
+			heads[i] = row
+			return true, nil
+		}
+		heads[i] = nil
+		if err := <-streams[i].err; err != nil {
+			return false, p.r.hostErr(p.hostIdx[i], err)
+		}
+		return false, nil
+	}
+	for i := 0; i < n; i++ {
+		ok, err := advance(i)
+		if err != nil {
+			return err
+		}
+		if ok {
+			active++
+		}
+	}
+	for active > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		best := -1
+		for i, h := range heads {
+			if h == nil {
+				continue
+			}
+			if best == -1 || h[p.mergeCol] < heads[best][p.mergeCol] {
+				best = i
+			}
+		}
+		if !emit(heads[best]) {
+			return nil
+		}
+		ok, err := advance(best)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			active--
+		}
+	}
+	return nil
+}
+
+// rowsSeq adapts an Enumerate-shaped execution into a streaming iterator,
+// discarding any mid-stream error (the router-side counterpart of the repro
+// and client helpers).
+func rowsSeq(enumerate func(context.Context, func([]int64) bool) error, ctx context.Context) iter.Seq[[]int64] {
+	return func(yield func([]int64) bool) {
+		_ = enumerate(ctx, func(t []int64) bool {
+			return yield(append([]int64(nil), t...))
+		})
+	}
+}
+
+// rowsErrSeq is rowsSeq with the explicit-error protocol: (tuple, nil) per
+// result, and a final (nil, err) pair when execution fails before the
+// consumer stopped.
+func rowsErrSeq(enumerate func(context.Context, func([]int64) bool) error, ctx context.Context) iter.Seq2[[]int64, error] {
+	return func(yield func([]int64, error) bool) {
+		stopped := false
+		err := enumerate(ctx, func(t []int64) bool {
+			ok := yield(append([]int64(nil), t...), nil)
+			stopped = !ok
+			return ok
+		})
+		if err != nil && !stopped {
+			yield(nil, err)
+		}
+	}
+}

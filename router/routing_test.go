@@ -1,0 +1,214 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro"
+)
+
+// newReplicas builds n identical in-process stores plus one oracle, all
+// loaded with the same deterministic edge relation.
+func newReplicas(t *testing.T, n int) (oracle *repro.Store, hosts []repro.Querier) {
+	t.Helper()
+	edges := testEdges(400, 100)
+	build := func() *repro.Store {
+		st := repro.NewStore()
+		if err := st.DefineRelation("edge", 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Load("edge", edges); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	oracle = build()
+	for i := 0; i < n; i++ {
+		hosts = append(hosts, repro.Local(build()))
+	}
+	return oracle, hosts
+}
+
+// testEdges derives a deterministic pseudo-random edge list over [0, nodes).
+func testEdges(m, nodes int64) [][]int64 {
+	x := uint64(0x243f6a8885a308d3)
+	next := func() int64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int64(x % uint64(nodes))
+	}
+	seen := make(map[[2]int64]bool)
+	var edges [][]int64
+	for int64(len(edges)) < m {
+		a, b := next(), next()
+		if a == b || seen[[2]int64{a, b}] {
+			continue
+		}
+		seen[[2]int64{a, b}] = true
+		edges = append(edges, []int64{a, b})
+	}
+	return edges
+}
+
+// TestRoutingDecisions pins the Prepare-time routing: plan-aware algorithms
+// fan out, a constant-pinned leading attribute routes to its owner host
+// alone, and algorithms without shard support route whole to one host.
+func TestRoutingDecisions(t *testing.T) {
+	ctx := context.Background()
+	oracle, hosts := newReplicas(t, 3)
+	r, err := New(hosts, nil, Config{Partitioner: HashPartitioner()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	parse := func(src string) *repro.Query {
+		q, err := oracle.ParseQuery("q", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+
+	// A plain join fans out over all three hosts.
+	p, err := r.Prepare(parse("edge(a, b), edge(b, c)"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := p.(*Prepared)
+	if rp.single || len(rp.hosts) != 3 {
+		t.Fatalf("plain join: single=%v hosts=%d, want fan-out over 3", rp.single, len(rp.hosts))
+	}
+	p.Close()
+
+	// An in-atom constant does not pin the leading GAO attribute — the
+	// planner orders its placeholder late — so that shape still fans out,
+	// and sharding on the true leading attribute keeps it correct.
+	p, err = r.Prepare(parse("edge(7, b), edge(b, c)"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp = p.(*Prepared); rp.single {
+		t.Fatal("in-atom constant unexpectedly routed single-shard")
+	}
+	p.Close()
+
+	// An equality predicate pinning the leading attribute routes to one
+	// host — the constant's owner under the partitioner.
+	p, err = r.Prepare(parse("edge(a, b), edge(b, c), a = 7"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp = p.(*Prepared)
+	if !rp.single {
+		t.Fatalf("constant-pinned query fanned out over %d hosts", len(rp.hosts))
+	}
+	if want := HashPartitioner().Owner(7, 3); rp.hostIdx[0] != want {
+		t.Fatalf("constant 7 routed to host %d, want owner %d", rp.hostIdx[0], want)
+	}
+	// And its result matches the oracle.
+	n, err := p.Count(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.Count(ctx, parse("edge(a, b), edge(b, c), a = 7"), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("single-shard count %d, oracle %d", n, want)
+	}
+	p.Close()
+
+	// An algorithm without shard support routes whole to one host and still
+	// answers correctly (storage is replicated).
+	p, err = r.Prepare(parse("edge(a, b), edge(b, c)"), repro.Options{Algorithm: repro.PSQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp = p.(*Prepared)
+	if !rp.single {
+		t.Fatalf("unshardable algorithm fanned out over %d hosts", len(rp.hosts))
+	}
+	n, err = p.Count(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = oracle.Count(ctx, parse("edge(a, b), edge(b, c)"), repro.Options{Algorithm: repro.PSQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("unshardable count %d, oracle %d", n, want)
+	}
+	p.Close()
+
+	// Options.Shard is the router's own mechanism and rejected from callers.
+	if _, err := r.Prepare(parse("edge(a, b)"), repro.Options{Shard: &repro.Shard{Kind: repro.ShardHash, Mod: 2}}); err == nil {
+		t.Fatal("caller-supplied Options.Shard accepted")
+	}
+}
+
+// TestPartitioners pins the Partitioner contracts: shards are disjoint and
+// covering, Owner agrees with Shards, and a range partitioner rejects a
+// mismatched host count.
+func TestPartitioners(t *testing.T) {
+	rp := RangePartitioner(10, 50)
+	shards, err := rp.Shards(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{-5, 0, 9, 10, 42, 50, 51, 1 << 40} {
+		owner := rp.Owner(v, 3)
+		in := 0
+		for i, sh := range shards {
+			if v >= sh.Lo && v < sh.Hi {
+				in++
+				if i != owner {
+					t.Fatalf("value %d in shard %d but Owner says %d", v, i, owner)
+				}
+			}
+		}
+		if in != 1 {
+			t.Fatalf("value %d covered by %d range shards, want exactly 1", v, in)
+		}
+	}
+	if _, err := rp.Shards(2); err == nil {
+		t.Fatal("range partitioner accepted a mismatched host count")
+	}
+
+	hp := HashPartitioner()
+	hshards, err := hp.Shards(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{0, 1, 7, 12345, -3} {
+		owner := hp.Owner(v, 4)
+		sh := hshards[owner]
+		if sh.Kind != repro.ShardHash || sh.Mod != 4 || sh.Res != uint64(owner) {
+			t.Fatalf("hash shard %d inconsistent with owner of %d: %+v", owner, v, sh)
+		}
+	}
+}
+
+// TestHostErrorTyping pins that failures keep their typed identity through
+// the *HostError wrapper.
+func TestHostErrorTyping(t *testing.T) {
+	_, hosts := newReplicas(t, 2)
+	r, err := New(hosts, []string{"alpha", "beta"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	err = r.Load("nope", nil)
+	var he *HostError
+	if !errors.As(err, &he) {
+		t.Fatalf("broadcast failure not a *HostError: %v", err)
+	}
+	if !errors.Is(err, repro.ErrUnknownRelation) {
+		t.Fatalf("HostError hides the typed sentinel: %v", err)
+	}
+}

@@ -12,9 +12,11 @@ server_pid=""
 # cleanup always runs (trap EXIT): it reaps a leftover server and, when the
 # script is failing, dumps every server log before the temp dir vanishes —
 # the CI job's only window into why a boot or query went wrong.
+cluster_pids=()
 cleanup() {
   status=$?
   [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  for pid in "${cluster_pids[@]}"; do kill "$pid" 2>/dev/null || true; done
   if [ "$status" -ne 0 ]; then
     for log in "$bin"/*.log; do
       [ -f "$log" ] || continue
@@ -141,5 +143,70 @@ wait "$server_pid" || { echo "integration: durable server exited non-zero" >&2; 
 server_pid=""
 ls "$data_dir"/default/snap-*.snap > /dev/null 2>&1 \
   || { echo "integration: no checkpoint snapshot after clean shutdown" >&2; exit 1; }
+
+# --- Distributed layer: a 3-node cluster behind graphjoinrouter ------------
+# Boot three graphjoind hosts with identical replicated data, front them with
+# the router, and require routed counts to match the in-process run for both
+# partition strategies. Then kill -9 one shard and require a one-line typed
+# error (not a hang, not a panic) through an unmodified graphjoin -connect.
+go build -o "$bin/graphjoinrouter" ./cmd/graphjoinrouter
+
+# boot_member <logfile> [flags...]: like boot, but for cluster members —
+# appends to cluster_pids instead of claiming the singleton server_pid.
+boot_member() {
+  local log="$1"; shift
+  "$1" -listen 127.0.0.1:0 "${@:2}" > "$log" 2>&1 &
+  cluster_pids+=($!)
+  addr=""
+  local deadline=$(( $(date +%s) + 30 ))
+  while [ "$(date +%s)" -lt "$deadline" ]; do
+    addr="$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$log")"
+    [ -n "$addr" ] && break
+    kill -0 "${cluster_pids[-1]}" 2>/dev/null || { echo "integration: cluster member died during boot" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "integration: cluster member never became ready" >&2; exit 1; }
+}
+
+shard_addrs=()
+for i in 1 2 3; do
+  boot_member "$bin/shard$i.log" "$bin/graphjoind" "${graph_flags[@]}"
+  shard_addrs+=("$addr")
+done
+
+for partition in hash range:700,1400; do
+  boot_member "$bin/router-${partition%%:*}.log" "$bin/graphjoinrouter" \
+    -hosts "$(IFS=,; echo "${shard_addrs[*]}")" -partition "$partition"
+  router_addr="$addr"
+  for engine in lftj ms; do
+    got="$("$bin/graphjoin" -connect "$router_addr" -query 3-clique -engine "$engine" | extract)"
+    if [ "$got" != "$want" ]; then
+      echo "integration: routed ($partition/$engine) count $got != local $want" >&2
+      exit 1
+    fi
+    echo "integration: routed ($partition/$engine) count $got matches local"
+  done
+done
+# $router_addr now points at the range-partitioned router; keep it for the
+# kill test below.
+
+# kill -9 one shard: the routed query must fail promptly with a one-line
+# typed router error naming the dead host — no hang, no silent partial rows.
+{ kill -9 "${cluster_pids[1]}" && wait "${cluster_pids[1]}"; } 2>/dev/null || true
+if timeout 30 "$bin/graphjoin" -connect "$router_addr" -query 3-clique -engine lftj > "$bin/killed.log" 2>&1; then
+  echo "integration: routed query succeeded with a dead shard" >&2
+  exit 1
+fi
+if ! grep -q 'router: host [0-9]' "$bin/killed.log"; then
+  echo "integration: no typed router error after shard kill:" >&2
+  cat "$bin/killed.log" >&2
+  exit 1
+fi
+if [ "$(grep -c 'router: host' "$bin/killed.log")" -ne 1 ]; then
+  echo "integration: shard-kill error was not one line:" >&2
+  cat "$bin/killed.log" >&2
+  exit 1
+fi
+echo "integration: shard kill surfaced as: $(grep 'router: host' "$bin/killed.log")"
 
 echo "integration: OK"

@@ -52,7 +52,7 @@ type conn struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	store     *repro.Store
+	store     repro.Querier
 	storeName string
 	// sm/adm/lt are the bound store's instrumentation, admission gate (nil =
 	// unlimited), and lease tracker, fixed at handshake.
@@ -61,8 +61,8 @@ type conn struct {
 	lt  *leaseTracker
 
 	mu       sync.Mutex
-	prepared map[uint64]*repro.Prepared
-	txns     map[uint64]*repro.Txn
+	prepared map[uint64]repro.PreparedQuery
+	txns     map[uint64]repro.QueryTxn
 	nextPrep uint64
 	nextTxn  uint64
 	// requests maps in-flight request ids to their cancel functions (for
@@ -83,8 +83,8 @@ func newConn(srv *Server, nc net.Conn) *conn {
 		bw:        bufio.NewWriter(nc),
 		ctx:       ctx,
 		cancel:    cancel,
-		prepared:  make(map[uint64]*repro.Prepared),
-		txns:      make(map[uint64]*repro.Txn),
+		prepared:  make(map[uint64]repro.PreparedQuery),
+		txns:      make(map[uint64]repro.QueryTxn),
 		requests:  make(map[uint64]context.CancelFunc),
 		streams:   make(map[uint64]*stream),
 		leaseToks: make(map[uint64]uint64),
@@ -138,6 +138,29 @@ func (c *conn) serve() {
 			for _, tok := range toks {
 				c.lt.remove(tok)
 			}
+		}
+		// Release backend-held resources. Local handles hold none; a routed
+		// backend frees its downstream prepared entries and snapshot leases.
+		c.mu.Lock()
+		txns := make([]repro.QueryTxn, 0, len(c.txns))
+		for _, t := range c.txns {
+			txns = append(txns, t)
+		}
+		preps := make([]repro.PreparedQuery, 0, len(c.prepared))
+		for _, p := range c.prepared {
+			preps = append(preps, p)
+		}
+		// Fresh maps rather than nil: a request goroutine still draining may
+		// insert a late handle, which must not panic (it is simply dropped
+		// with the conn).
+		c.txns = make(map[uint64]repro.QueryTxn)
+		c.prepared = make(map[uint64]repro.PreparedQuery)
+		c.mu.Unlock()
+		for _, t := range txns {
+			t.Close()
+		}
+		for _, p := range preps {
+			p.Close()
 		}
 	}()
 	br := bufio.NewReader(c.nc)
@@ -309,9 +332,9 @@ func (c *conn) handle(ctx context.Context, typ byte, reqID uint64, body []byte) 
 	case wire.TStats:
 		err = c.handleStats(reqID, body)
 	case wire.TExplain:
-		err = c.handleExplain(reqID, body)
+		err = c.handleExplain(ctx, reqID, body)
 	case wire.TRelations:
-		err = c.handleRelations(reqID)
+		err = c.handleRelations(ctx, reqID)
 	case wire.TMetrics:
 		err = c.handleMetrics(reqID)
 	default:
@@ -438,17 +461,20 @@ func (c *conn) handleClosePrepared(reqID uint64, body []byte) error {
 		return decodeErr(d)
 	}
 	c.mu.Lock()
-	_, ok := c.prepared[handle]
+	p, ok := c.prepared[handle]
 	delete(c.prepared, handle)
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("server: close of handle %d: %w", handle, wire.ErrUnknownHandle)
 	}
+	if err := p.Close(); err != nil {
+		return err
+	}
 	return c.sendOK(reqID)
 }
 
 // lookupPrepared resolves a prepared-statement handle.
-func (c *conn) lookupPrepared(handle uint64) (*repro.Prepared, error) {
+func (c *conn) lookupPrepared(handle uint64) (repro.PreparedQuery, error) {
 	c.mu.Lock()
 	p, ok := c.prepared[handle]
 	c.mu.Unlock()
@@ -459,7 +485,7 @@ func (c *conn) lookupPrepared(handle uint64) (*repro.Prepared, error) {
 }
 
 // lookupTxn resolves a transaction id; id 0 means "no transaction".
-func (c *conn) lookupTxn(id uint64) (*repro.Txn, error) {
+func (c *conn) lookupTxn(id uint64) (repro.QueryTxn, error) {
 	if id == 0 {
 		return nil, nil
 	}
@@ -502,7 +528,10 @@ func (c *conn) handleCount(ctx context.Context, reqID uint64, body []byte) error
 }
 
 func (c *conn) handleBegin(reqID uint64) error {
-	t := c.store.ReadTxn()
+	t, err := c.store.ReadTxn()
+	if err != nil {
+		return err
+	}
 	var tok uint64
 	if c.lt != nil {
 		tok = c.lt.add()
@@ -527,7 +556,7 @@ func (c *conn) handleEnd(reqID uint64, body []byte) error {
 		return decodeErr(d)
 	}
 	c.mu.Lock()
-	_, ok := c.txns[id]
+	t, ok := c.txns[id]
 	delete(c.txns, id)
 	tok, hadTok := c.leaseToks[id]
 	delete(c.leaseToks, id)
@@ -537,6 +566,9 @@ func (c *conn) handleEnd(reqID uint64, body []byte) error {
 	}
 	if !ok {
 		return fmt.Errorf("server: end of transaction %d: %w", id, wire.ErrUnknownTxn)
+	}
+	if err := t.Close(); err != nil {
+		return err
 	}
 	return c.sendOK(reqID)
 }
@@ -561,7 +593,7 @@ func (c *conn) handleBatch(ctx context.Context, reqID uint64, body []byte) error
 	// isolates execution failures; the known ones run as one shared-snapshot
 	// batch.
 	results := make([]repro.Result, n)
-	var batch []repro.Request
+	var batch []repro.BatchRequest
 	var slots []int
 	for i, r := range reqs {
 		p, err := c.lookupPrepared(r.handle)
@@ -569,10 +601,14 @@ func (c *conn) handleBatch(ctx context.Context, reqID uint64, body []byte) error
 			results[i] = repro.Result{Err: err}
 			continue
 		}
-		batch = append(batch, repro.Request{Prepared: p, Rows: r.rows})
+		batch = append(batch, repro.BatchRequest{Prepared: p, Rows: r.rows})
 		slots = append(slots, i)
 	}
-	for j, res := range c.store.Batch(ctx, batch) {
+	batchRes, err := c.store.Batch(ctx, batch)
+	if err != nil {
+		return err
+	}
+	for j, res := range batchRes {
 		results[slots[j]] = res
 	}
 	var e wire.Enc
@@ -606,7 +642,7 @@ func (c *conn) handleStats(reqID uint64, body []byte) error {
 	return c.send(wire.TStatsOK, reqID, e.Bytes())
 }
 
-func (c *conn) handleExplain(reqID uint64, body []byte) error {
+func (c *conn) handleExplain(ctx context.Context, reqID uint64, body []byte) error {
 	d := wire.NewDec(body)
 	handle := d.U64()
 	if d.Err() != nil {
@@ -616,8 +652,25 @@ func (c *conn) handleExplain(reqID uint64, body []byte) error {
 	if err != nil {
 		return err
 	}
+	// Explain is not part of the PreparedQuery seam; both known handle shapes
+	// expose it with their own signatures (the local one synchronously, the
+	// remote/routed one with a round trip).
+	var text string
+	switch h := p.(type) {
+	case interface{ Explain() repro.Explanation }:
+		text = h.Explain().String()
+	case interface {
+		Explain(context.Context) (string, error)
+	}:
+		text, err = h.Explain(ctx)
+		if err != nil {
+			return err
+		}
+	default:
+		text = "explain unavailable for this handle"
+	}
 	var e wire.Enc
-	e.Str(p.Explain().String())
+	e.Str(text)
 	return c.send(wire.TExplainOK, reqID, e.Bytes())
 }
 
@@ -635,17 +688,16 @@ func (c *conn) handleMetrics(reqID uint64) error {
 	return c.send(wire.TMetricsOK, reqID, e.Bytes())
 }
 
-func (c *conn) handleRelations(reqID uint64) error {
-	names := c.store.Relations()
+func (c *conn) handleRelations(ctx context.Context, reqID uint64) error {
+	infos, err := c.store.Schema(ctx)
+	if err != nil {
+		return err
+	}
 	var e wire.Enc
-	e.Int(len(names))
-	for _, name := range names {
-		arity, err := c.store.Arity(name)
-		if err != nil {
-			arity = 0
-		}
-		e.Str(name)
-		e.Int(arity)
+	e.Int(len(infos))
+	for _, info := range infos {
+		e.Str(info.Name)
+		e.Int(info.Arity)
 	}
 	return c.send(wire.TRelationsOK, reqID, e.Bytes())
 }

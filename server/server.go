@@ -5,8 +5,10 @@
 // the deployment shape the paper assumes of LogicBlox, and the seam along
 // which stores shard across processes and hosts.
 //
-// A Server is multi-tenant: it hosts one or more named Stores and each
-// connection binds to one of them in its Hello exchange. Per connection the
+// A Server is multi-tenant: it hosts one or more named backends — in-process
+// Stores, or any repro.Querier (Config.Queriers), such as a router.Router
+// fronting a cluster of downstream servers — and each connection binds to one
+// of them in its Hello exchange. Per connection the
 // server keeps a prepared-statement table and a read-transaction table;
 // requests on one connection run concurrently (each in its own goroutine,
 // cancellable by a client Cancel frame), and a request failure answers only
@@ -40,6 +42,12 @@ type Config struct {
 	// Stores is the registry of named stores served to clients. Keys are the
 	// names clients select in their Hello exchange.
 	Stores map[string]*repro.Store
+	// Queriers registers additional backends by name — anything implementing
+	// repro.Querier, such as a router.Router fronting a cluster of remote
+	// hosts. Entries here and in Stores share one namespace; a name present
+	// in both resolves to the Stores entry. Store-level gauges (overlay
+	// depth) register only for backends that expose them.
+	Queriers map[string]repro.Querier
 	// Logf, when set, receives connection-level diagnostics (accept and
 	// protocol errors). Request-level errors are not logged — they are
 	// answered to the client.
@@ -55,7 +63,7 @@ type Config struct {
 // NewSingle, then call Serve (or ListenAndServe) on as many listeners as
 // needed.
 type Server struct {
-	stores map[string]*repro.Store
+	stores map[string]repro.Querier
 	logf   func(string, ...any)
 
 	// Per-store serving instrumentation and admission gates, fixed at New.
@@ -79,21 +87,33 @@ type Server struct {
 // process can keep writing to a store (e.g. a live data feed) while the
 // server serves it — Store is safe for concurrent use.
 func New(cfg Config) *Server {
+	n := len(cfg.Stores) + len(cfg.Queriers)
 	s := &Server{
-		stores:     make(map[string]*repro.Store, len(cfg.Stores)),
+		stores:     make(map[string]repro.Querier, n),
 		logf:       cfg.Logf,
-		metrics:    make(map[string]*storeMetrics, len(cfg.Stores)),
-		admissions: make(map[string]*admission, len(cfg.Stores)),
-		leases:     make(map[string]*leaseTracker, len(cfg.Stores)),
+		metrics:    make(map[string]*storeMetrics, n),
+		admissions: make(map[string]*admission, n),
+		leases:     make(map[string]*leaseTracker, n),
 		listeners:  make(map[net.Listener]struct{}),
 		conns:      make(map[*conn]struct{}),
 	}
+	register := func(name string, q repro.Querier) {
+		s.stores[name] = q
+		s.metrics[name] = newStoreMetrics(name)
+		s.admissions[name] = newAdmission(name, cfg.Limits[name])
+		s.leases[name] = newLeaseTracker(name)
+	}
+	for name, q := range cfg.Queriers {
+		if q != nil {
+			register(name, q)
+			if st, ok := q.(interface{ OverlayDepth() int }); ok {
+				registerStoreGauges(name, st)
+			}
+		}
+	}
 	for name, st := range cfg.Stores {
 		if st != nil {
-			s.stores[name] = st
-			s.metrics[name] = newStoreMetrics(name)
-			s.admissions[name] = newAdmission(name, cfg.Limits[name])
-			s.leases[name] = newLeaseTracker(name)
+			register(name, repro.Local(st))
 			registerStoreGauges(name, st)
 		}
 	}
@@ -269,7 +289,7 @@ func (s *Server) startRequest() bool {
 }
 
 // lookupStore resolves a Hello's store selection (empty means DefaultStore).
-func (s *Server) lookupStore(name string) (*repro.Store, string, error) {
+func (s *Server) lookupStore(name string) (repro.Querier, string, error) {
 	if name == "" {
 		name = DefaultStore
 	}

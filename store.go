@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/agm"
 	"repro/internal/core"
@@ -71,6 +72,10 @@ type Store struct {
 	// dur is the durability manager for stores opened with OpenStore; nil
 	// for in-memory stores, which skip logging entirely.
 	dur *durable.Manager
+	// ckptBytes is DurabilityOptions.CheckpointBytes; ckptBusy keeps at
+	// most one size-triggered background checkpoint in flight.
+	ckptBytes int64
+	ckptBusy  atomic.Bool
 }
 
 // NewStore returns an empty store.
@@ -172,7 +177,11 @@ func (s *Store) Load(name string, tuples [][]int64) error {
 	if err != nil {
 		return err
 	}
-	return s.dur.Commit(lsn)
+	if err := s.dur.Commit(lsn); err != nil {
+		return err
+	}
+	s.maybeCheckpoint()
+	return nil
 }
 
 // Apply applies an incremental update batch to the named relation: inserts

@@ -99,12 +99,7 @@ func (t *Txn) Count(ctx context.Context, p *Prepared) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if p.agg != nil {
-		return p.agg.count(func(emit func([]int64) bool) error {
-			return e.Enumerate(ctx, p.q, t.s.db, emit)
-		})
-	}
-	return e.Count(ctx, p.q, t.s.db)
+	return p.runCount(ctx, e)
 }
 
 // Enumerate executes the prepared query against the transaction's snapshot,
@@ -116,12 +111,7 @@ func (t *Txn) Enumerate(ctx context.Context, p *Prepared, emit func([]int64) boo
 	if err != nil {
 		return err
 	}
-	if p.agg != nil {
-		return p.agg.run(func(em func([]int64) bool) error {
-			return e.Enumerate(ctx, p.q, t.s.db, em)
-		}, emit)
-	}
-	return e.Enumerate(ctx, p.q, t.s.db, emit)
+	return p.runEnumerate(ctx, e, emit)
 }
 
 // Rows executes the prepared query against the transaction's snapshot as a
