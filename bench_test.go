@@ -15,6 +15,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/incremental"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 var benchGraphs = map[string]*Graph{}
@@ -227,6 +228,42 @@ func BenchmarkPreparedReuse(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := p.Count(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTracingOverhead pins the disabled-tracing cost on the prepared
+// hot path: "untraced" runs the exact serving loop of
+// BenchmarkPreparedReuse/prepared (the engine-span hook reduced to one
+// context lookup and a nil check) and must stay within noise of it;
+// "traced" prices the enabled path (span allocation, stats delta, buffer
+// append) for comparison.
+func BenchmarkTracingOverhead(b *testing.B) {
+	ctx := context.Background()
+	g := benchGraph(b, dataset.ErdosRenyi, 100, 300, 10)
+	g.SetSamples([]int64{2, 3, 5}, []int64{7, 11, 13})
+	p, err := g.Prepare(Paths(3), Options{Algorithm: "lftj", Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Count(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		tr := trace.New(trace.NewID())
+		root := tr.StartSpan(0, "bench")
+		tctx := trace.NewContext(ctx, root)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Count(tctx); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -332,15 +333,30 @@ func (s *Store) sendCancel(id uint64) {
 	s.write(wire.TCancel, id, nil)
 }
 
+// traceBody prepends the protocol-v4 trace context to a request body: the
+// active span from ctx when the caller is tracing, the one-byte untraced
+// marker otherwise.
+func traceBody(ctx context.Context, body []byte) []byte {
+	sp := trace.FromContext(ctx)
+	var e wire.Enc
+	wire.EncodeTraceContext(&e, uint64(sp.TraceID()), uint64(sp.ID()))
+	e.Raw(body)
+	return e.Bytes()
+}
+
 // roundTrip performs one unary request: register, send, await the response,
 // and verify its type. Context cancellation abandons the request and tells
-// the server to stop it.
+// the server to stop it. Every request except the Hello itself carries the
+// trace-context prefix (the Hello negotiates the version that defines it).
 func (s *Store) roundTrip(ctx context.Context, typ byte, body []byte, want byte) ([]byte, error) {
 	id, c, err := s.register(1)
 	if err != nil {
 		return nil, err
 	}
 	defer s.deregister(id)
+	if typ != wire.THello {
+		body = traceBody(ctx, body)
+	}
 	if err := s.write(typ, id, body); err != nil {
 		return nil, err
 	}
@@ -500,6 +516,55 @@ func (s *Store) Metrics(ctx context.Context) (string, error) {
 		return "", fmt.Errorf("client: malformed Metrics response: %w", d.Err())
 	}
 	return text, nil
+}
+
+// Trace fetches the spans one completed trace left on the server, merged
+// with the spans of any downstream hosts the server fronts (a routed
+// backend fans the fetch out) — the stitched tree graphjoin -connect -trace
+// renders. A trace the server never saw yields an empty span list.
+func (s *Store) Trace(ctx context.Context, id uint64) ([]trace.SpanRecord, error) {
+	var e wire.Enc
+	e.U64(id)
+	e.Int(1)
+	body, err := s.roundTrip(ctx, wire.TTrace, e.Bytes(), wire.TTraceOK)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDec(body)
+	traces := wire.DecodeTraces(d)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("client: malformed Trace response: %w", d.Err())
+	}
+	var spans []trace.SpanRecord
+	for _, t := range traces {
+		spans = append(spans, t.Spans...)
+	}
+	return spans, nil
+}
+
+// TraceSpans is Trace under the name the server-side stitching capability
+// probes for, letting a Store serve as a downstream host of another server's
+// trace fetch.
+func (s *Store) TraceSpans(ctx context.Context, id uint64) ([]trace.SpanRecord, error) {
+	return s.Trace(ctx, id)
+}
+
+// Traces fetches the server's last-n completed traces, oldest first (n <= 0
+// fetches the server's whole retention buffer).
+func (s *Store) Traces(ctx context.Context, n int) ([]trace.Data, error) {
+	var e wire.Enc
+	e.U64(0)
+	e.Int(n)
+	body, err := s.roundTrip(ctx, wire.TTrace, e.Bytes(), wire.TTraceOK)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDec(body)
+	traces := wire.DecodeTraces(d)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("client: malformed Traces response: %w", d.Err())
+	}
+	return traces, nil
 }
 
 // ParseQuery parses and validates the query against the server's schema; see

@@ -218,7 +218,7 @@ func (s *Store) enumerate(ctx context.Context, handle, txnID uint64, emit func([
 	e.U64(txnID)
 	e.Int(chunkRows)
 	e.Int(credit)
-	if err := s.write(wire.TRows, id, e.Bytes()); err != nil {
+	if err := s.write(wire.TRows, id, traceBody(ctx, e.Bytes())); err != nil {
 		return err
 	}
 

@@ -47,6 +47,7 @@ import (
 	"repro/client"
 	"repro/internal/cli"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -77,6 +78,7 @@ func run() error {
 		explain     = flag.Bool("explain", false, "print the compiled plan (GAO, per-atom index, AGM bound)")
 		showStats   = flag.Bool("stats", false, "print the unified execution counters after the run")
 		repeat      = flag.Int("repeat", 1, "executions of the prepared query (plan compiled once)")
+		showTrace   = flag.Bool("trace", false, "with -connect, trace the query end-to-end and print the span-tree timeline")
 	)
 	flag.Var(&relations, "relation", "define a store relation as name:arity (repeatable; switches to the general schema mode)")
 	flag.Var(&loads, "load", "load a defined relation from a file of integer rows, as name=path (repeatable)")
@@ -100,6 +102,9 @@ func run() error {
 
 	if *storeName != "" && *connect == "" {
 		return fmt.Errorf("-store selects a tenant on a server and requires -connect")
+	}
+	if *showTrace && *connect == "" {
+		return fmt.Errorf("-trace follows a query through a server and requires -connect")
 	}
 
 	var qr repro.Querier
@@ -213,15 +218,32 @@ func run() error {
 		}
 	}
 
+	// Under -trace the executions run inside a client root span: every Count
+	// request carries (trace id, root span id) on the wire, so the server —
+	// and, through a router, every shard — records its spans under the same
+	// trace, fetched and stitched after the run.
+	runCtx := ctx
+	var tr *trace.Trace
+	var root *trace.Span
+	if *showTrace {
+		tr = trace.New(trace.NewID())
+		root = tr.StartSpan(0, "client.query")
+		root.SetStr("query", q.String())
+		runCtx = trace.NewContext(ctx, root)
+	}
+
 	start := time.Now()
 	var n int64
 	for i := 0; i < max(*repeat, 1); i++ {
-		n, err = p.Count(ctx)
+		n, err = p.Count(runCtx)
 		if err != nil {
 			return fmt.Errorf("%s: %w", *engineName, err)
 		}
 	}
 	elapsed := time.Since(start)
+	if root != nil {
+		root.End()
+	}
 	if *repeat > 1 {
 		fmt.Printf("%s: %d results; %d runs in %v (%v/run, prepared in %v)\n",
 			*engineName, n, *repeat, elapsed.Round(time.Millisecond),
@@ -229,6 +251,17 @@ func run() error {
 	} else {
 		fmt.Printf("%s: %d results in %v (prepared in %v)\n",
 			*engineName, n, elapsed.Round(time.Millisecond), prepElapsed.Round(time.Microsecond))
+	}
+	if tr != nil {
+		spans := tr.Spans()
+		remoteSpans, err := remote.Trace(ctx, uint64(tr.ID()))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphjoin: trace fetch: %v\n", err)
+		} else {
+			spans = append(spans, remoteSpans...)
+		}
+		fmt.Printf("trace %016x:\n", uint64(tr.ID()))
+		trace.Render(os.Stdout, spans)
 	}
 	if *showStats {
 		st := p.Stats()

@@ -70,7 +70,6 @@ import (
 
 	"repro"
 	"repro/internal/cli"
-	"repro/internal/metrics"
 	"repro/server"
 )
 
@@ -101,6 +100,9 @@ func run() error {
 		fsyncWindow = flag.Duration("fsync-window", 0, "group-commit accumulation window (how long a sync leader waits for more writers)")
 		checkpoint  = flag.Duration("checkpoint-every", 5*time.Minute, "background checkpoint interval with -data-dir (0 disables)")
 		ckptBytes   = flag.Int64("checkpoint-bytes", 0, "with -data-dir, also checkpoint whenever the un-pruned WAL exceeds this many bytes (0 disables)")
+		slowQueryMs = flag.Int64("slow-query-ms", 0, "log one JSON line per request slower than this many milliseconds (0 disables)")
+		slowQueryLg = flag.String("slow-query-log", "", "file the slow-query lines append to (empty routes them to stderr)")
+		traceSample = flag.Int("trace-sample", 1, "with -slow-query-ms, trace one in N untraced requests so slow-query lines carry span trees")
 	)
 	flag.Var(&relations, "relation", "define a default-store relation as name:arity (repeatable)")
 	flag.Var(&loads, "load", "load a default-store relation from a file of integer rows, as name=path (repeatable)")
@@ -165,8 +167,18 @@ func run() error {
 		}
 	}
 
+	slowLog, closeSlowLog, err := cli.OpenSlowQueryLog(*slowQueryLg)
+	if err != nil {
+		return err
+	}
+	defer closeSlowLog()
+
 	srv := server.New(server.Config{Stores: stores, Limits: limits, Logf: func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "graphjoind: "+format+"\n", args...)
+	}, Trace: server.TraceConfig{
+		SlowQuery:    time.Duration(*slowQueryMs) * time.Millisecond,
+		SlowQueryLog: slowLog,
+		SampleEvery:  *traceSample,
 	}})
 
 	l, err := net.Listen("tcp", *listen)
@@ -178,21 +190,16 @@ func run() error {
 	fmt.Printf("graphjoind: serving stores [%s] on %s\n", strings.Join(names, " "), l.Addr())
 
 	// The observability sidecar listener: /metrics in Prometheus text format,
-	// /healthz for liveness probes. It binds before the banner-reading scripts
-	// proceed and is torn down with the server.
+	// /healthz for liveness probes, /debug/pprof for profiling, /debug/traces
+	// for the retained request traces. It binds before the banner-reading
+	// scripts proceed and is torn down with the server.
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
 		ml, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", metrics.Default().Handler())
-		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprintln(w, "ok")
-		})
-		metricsSrv = &http.Server{Handler: mux}
+		metricsSrv = &http.Server{Handler: cli.ObservabilityMux(srv.DebugTracesHandler())}
 		go func() {
 			if err := metricsSrv.Serve(ml); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "graphjoind: metrics server: %v\n", err)

@@ -7,8 +7,9 @@
 // Count, streaming Rows, Apply (write), and streaming Aggregate
 // (group-by/count) requests against a relation the harness defines and loads
 // itself, for -duration. The summary is one JSON line on stdout: achieved
-// QPS, client-side latency quantiles (p50/p95/p99), and error counts, with
-// overloaded rejections (admission control) broken out from other failures.
+// QPS, client-side latency quantiles (p50/p95/p99/p999), per-type maxima,
+// and error counts, with overloaded rejections (admission control) broken
+// out from other failures.
 //
 //	graphjoinload -addr 127.0.0.1:7474 -conns 8 -duration 10s
 //	graphjoinload -addr 127.0.0.1:7474 -mix 'count=6,rows=3,apply=1,aggregate=1'
@@ -61,9 +62,10 @@ type opResult struct {
 
 // typeSummary aggregates one request type across all workers.
 type typeSummary struct {
-	Ops        int64 `json:"ops"`
-	Overloaded int64 `json:"overloaded"`
-	Errors     int64 `json:"errors"`
+	Ops        int64   `json:"ops"`
+	Overloaded int64   `json:"overloaded"`
+	Errors     int64   `json:"errors"`
+	MaxMs      float64 `json:"max_ms"`
 }
 
 // summary is the one-line JSON report.
@@ -77,6 +79,7 @@ type summary struct {
 	P50Ms      float64                `json:"p50_ms"`
 	P95Ms      float64                `json:"p95_ms"`
 	P99Ms      float64                `json:"p99_ms"`
+	P999Ms     float64                `json:"p999_ms"`
 	ByType     map[string]typeSummary `json:"by_type"`
 	// Crosscheck is "ok", "skipped" (no -metrics-url), or "mismatch";
 	// Ledger is the client-side count of admitted wire requests and
@@ -353,6 +356,9 @@ func summarize(workers []*worker, conns int, elapsed time.Duration, led *ledger)
 					errs++
 				}
 			}
+			if ms := float64(r.elapsed) / float64(time.Millisecond); ms > t.MaxMs {
+				t.MaxMs = ms
+			}
 			byType[r.typ] = t
 			all = append(all, r.elapsed)
 		}
@@ -376,6 +382,7 @@ func summarize(workers []*worker, conns int, elapsed time.Duration, led *ledger)
 		P50Ms:      quantile(0.50),
 		P95Ms:      quantile(0.95),
 		P99Ms:      quantile(0.99),
+		P999Ms:     quantile(0.999),
 		ByType:     byType,
 	}
 }

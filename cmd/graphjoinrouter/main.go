@@ -50,7 +50,7 @@ import (
 	"time"
 
 	"repro"
-	"repro/internal/metrics"
+	"repro/internal/cli"
 	"repro/router"
 	"repro/server"
 )
@@ -77,6 +77,9 @@ func run() error {
 		dialBackoff  = flag.Duration("dial-backoff", 100*time.Millisecond, "initial backoff between dial attempts (doubles per attempt)")
 		drain        = flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
 		metricsAddr  = flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus text) and /healthz; empty disables")
+		slowQueryMs  = flag.Int64("slow-query-ms", 0, "log one JSON line per request slower than this many milliseconds (0 disables)")
+		slowQueryLg  = flag.String("slow-query-log", "", "file the slow-query lines append to (empty routes them to stderr)")
+		traceSample  = flag.Int("trace-sample", 1, "with -slow-query-ms, trace one in N untraced requests so slow-query lines carry span trees")
 	)
 	flag.Parse()
 
@@ -100,10 +103,21 @@ func run() error {
 	}
 	defer r.Close()
 
+	slowLog, closeSlowLog, err := cli.OpenSlowQueryLog(*slowQueryLg)
+	if err != nil {
+		return err
+	}
+	defer closeSlowLog()
+
 	srv := server.New(server.Config{
 		Queriers: map[string]repro.Querier{*serveAs: r},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "graphjoinrouter: "+format+"\n", args...)
+		},
+		Trace: server.TraceConfig{
+			SlowQuery:    time.Duration(*slowQueryMs) * time.Millisecond,
+			SlowQueryLog: slowLog,
+			SampleEvery:  *traceSample,
 		},
 	})
 
@@ -120,20 +134,15 @@ func run() error {
 
 	// The observability sidecar listener, identical to graphjoind's: the
 	// router's fan-out metrics live in the same default registry as the
-	// serving metrics of the frontend listener.
+	// serving metrics of the frontend listener, and the pprof and trace
+	// surfaces match the shards'.
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
 		ml, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", metrics.Default().Handler())
-		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprintln(w, "ok")
-		})
-		metricsSrv = &http.Server{Handler: mux}
+		metricsSrv = &http.Server{Handler: cli.ObservabilityMux(srv.DebugTracesHandler())}
 		go func() {
 			if err := metricsSrv.Serve(ml); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "graphjoinrouter: metrics server: %v\n", err)

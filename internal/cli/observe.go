@@ -1,0 +1,48 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+// ObservabilityMux builds the daemons' shared sidecar HTTP mux: Prometheus
+// text metrics, a liveness probe, the Go pprof surfaces, and — when a
+// handler is supplied — the server's retained traces. Both graphjoind and
+// graphjoinrouter mount it on their -metrics-addr listener, so a cluster's
+// coordinator and shards profile identically.
+func ObservabilityMux(traces http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Default().Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if traces != nil {
+		mux.Handle("/debug/traces", traces)
+	}
+	return mux
+}
+
+// OpenSlowQueryLog opens (appending) the file the slow-query log writes to.
+// An empty path returns a nil writer, which routes slow-query lines through
+// the server's diagnostic log instead.
+func OpenSlowQueryLog(path string) (io.Writer, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("slow-query log: %w", err)
+	}
+	return f, f.Close, nil
+}

@@ -49,6 +49,10 @@ func (e *Enc) Bool(v bool) {
 	}
 }
 
+// Raw appends pre-encoded bytes verbatim (no length prefix) — used to
+// prepend a header ahead of an already-encoded body.
+func (e *Enc) Raw(b []byte) { e.b = append(e.b, b...) }
+
 // Str appends a length-prefixed string.
 func (e *Enc) Str(s string) {
 	e.U64(uint64(len(s)))
@@ -94,9 +98,21 @@ func NewDec(b []byte) *Dec { return &Dec{b: b} }
 // Err returns the first decoding failure, if any.
 func (d *Dec) Err() error { return d.err }
 
+// Rest returns the undecoded remainder of the payload — used to split a
+// header off a body that a later decoder consumes.
+func (d *Dec) Rest() []byte { return d.b }
+
 func (d *Dec) fail() {
 	if d.err == nil {
 		d.err = ErrTruncated
+	}
+}
+
+// Fail records a decoder-external validation failure (e.g. an unknown flag
+// value), making it sticky like any decoding error.
+func (d *Dec) Fail(err error) {
+	if d.err == nil {
+		d.err = err
 	}
 }
 

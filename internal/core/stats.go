@@ -73,6 +73,26 @@ func (s *Stats) Merge(o Stats) {
 	s.MemoStores += o.MemoStores
 }
 
+// Sub returns the counter deltas from an earlier snapshot — what one
+// execution cost, attached to its trace span as attributes.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		PlanCacheHits:   s.PlanCacheHits - o.PlanCacheHits,
+		PlanCacheMisses: s.PlanCacheMisses - o.PlanCacheMisses,
+		GAODerivations:  s.GAODerivations - o.GAODerivations,
+		IndexBindings:   s.IndexBindings - o.IndexBindings,
+		Executions:      s.Executions - o.Executions,
+		Outputs:         s.Outputs - o.Outputs,
+		Seeks:           s.Seeks - o.Seeks,
+		Probes:          s.Probes - o.Probes,
+		ProbeMemoHits:   s.ProbeMemoHits - o.ProbeMemoHits,
+		Constraints:     s.Constraints - o.Constraints,
+		FreeTupleSteps:  s.FreeTupleSteps - o.FreeTupleSteps,
+		ReuseHits:       s.ReuseHits - o.ReuseHits,
+		MemoStores:      s.MemoStores - o.MemoStores,
+	}
+}
+
 // StatsCollector accumulates Stats from concurrent executions. Engines
 // batch counters locally and Add them once per run, so the lock is taken a
 // handful of times per execution, not per tuple. The zero value is ready to

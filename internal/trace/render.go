@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Render writes the spans as an indented timeline tree: children nested
+// under their parents, siblings ordered by start time, each line carrying
+// the stage, the duration, the offset from the trace's first span, and the
+// span's attributes. Spans whose parent is absent from the set (e.g. the
+// root's client-side parent when rendering a server-only fetch) print as
+// roots, so a partial trace still renders rather than vanishing.
+func Render(w io.Writer, spans []SpanRecord) {
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "(no spans)")
+		return
+	}
+	byID := make(map[SpanID]int, len(spans))
+	for i, s := range spans {
+		byID[s.ID] = i
+	}
+	children := make(map[SpanID][]int)
+	var roots []int
+	for i, s := range spans {
+		if _, ok := byID[s.Parent]; s.Parent != 0 && ok {
+			children[s.Parent] = append(children[s.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool { return spans[idx[a]].Start.Before(spans[idx[b]].Start) })
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+	epoch := spans[roots[0]].Start
+	for _, s := range spans {
+		if s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		s := spans[i]
+		label := strings.Repeat("  ", depth) + s.Stage
+		var attrs []string
+		for _, a := range s.Attrs {
+			if a.Str != "" {
+				attrs = append(attrs, fmt.Sprintf("%s=%s", a.Key, a.Str))
+			} else {
+				attrs = append(attrs, fmt.Sprintf("%s=%d", a.Key, a.Val))
+			}
+		}
+		line := fmt.Sprintf("%-44s %10s  +%-10s", label, round(s.Duration), round(s.Start.Sub(epoch)))
+		if len(attrs) > 0 {
+			line += "  " + strings.Join(attrs, " ")
+		}
+		fmt.Fprintln(w, strings.TrimRight(line, " "))
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// round trims a duration to a readable precision for the timeline.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(100 * time.Nanosecond)
+	}
+}

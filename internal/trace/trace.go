@@ -1,0 +1,365 @@
+// Package trace is the dependency-free tracing layer behind per-query
+// execution profiles: one trace per request, spans per stage (server
+// handling, engine execution, router fan-out legs, stream flushes), each
+// span carrying a parent id so a distributed execution stitches back into a
+// single tree — client → router → N shards → engines — with the straggler
+// visible as the longest sibling leg.
+//
+// The layer is built to cost ~nothing when unused. Tracing is opt-in per
+// request: a context without a span makes Start return (ctx, nil), and every
+// method on a nil *Span is a no-op, so instrumented hot paths pay one
+// context lookup and a nil check. Trace and span ids are 64-bit and non-zero
+// (zero means "untraced" on the wire and "no parent" in a span record).
+//
+// Spans are collected into their Trace under a mutex with a hard per-trace
+// cap, so a runaway enumeration cannot hold unbounded diagnostics, and
+// completed traces are retained in a fixed-size Buffer ring for later fetch
+// (the TTrace wire request, /debug/traces, the slow-query log).
+package trace
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ID identifies one trace: one request's execution tree, possibly spanning
+// several processes. Zero means untraced.
+type ID uint64
+
+// SpanID identifies one span within a trace. Zero as a parent marks a root.
+type SpanID uint64
+
+// MaxSpans caps the spans one Trace retains; further spans are counted as
+// dropped rather than buffered, bounding the diagnostic cost of a huge
+// fan-out or a per-chunk instrumentation bug.
+const MaxSpans = 512
+
+// Attr is one span attribute: a named counter (Val) or label (Str). Exactly
+// one of Val/Str is meaningful; Str == "" marks a numeric attribute.
+type Attr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val,omitempty"`
+	Str string `json:"str,omitempty"`
+}
+
+// SpanRecord is a completed span in serializable form — what crosses the
+// wire in a TTrace response and what the slow-query log and /debug/traces
+// emit.
+type SpanRecord struct {
+	Trace    ID            `json:"trace"`
+	ID       SpanID        `json:"span"`
+	Parent   SpanID        `json:"parent,omitempty"`
+	Stage    string        `json:"stage"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"dur_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Attr returns the string attribute under key ("" when absent).
+func (r SpanRecord) Attr(key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Str
+		}
+	}
+	return ""
+}
+
+// Trace collects the spans one process records under one trace id. Safe for
+// concurrent use (fan-out legs record from their own goroutines).
+type Trace struct {
+	id ID
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int
+}
+
+// New returns a collector for the given trace id.
+func New(id ID) *Trace { return &Trace{id: id} }
+
+// ID returns the trace id.
+func (t *Trace) ID() ID { return t.id }
+
+// StartSpan opens a span under the given parent (zero for a root). The span
+// records into the trace when ended.
+func (t *Trace) StartSpan(parent SpanID, stage string) *Span {
+	return &Span{
+		tr:     t,
+		id:     SpanID(newID()),
+		parent: parent,
+		stage:  stage,
+		start:  time.Now(),
+	}
+}
+
+// add records one completed span, honoring the per-trace cap.
+func (t *Trace) add(r SpanRecord) {
+	t.mu.Lock()
+	if len(t.spans) >= MaxSpans {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, r)
+	}
+	t.mu.Unlock()
+}
+
+// Spans snapshots the spans recorded so far.
+func (t *Trace) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Dropped reports how many spans the cap discarded.
+func (t *Trace) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Data snapshots the trace for retention in a Buffer.
+func (t *Trace) Data() Data {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Data{
+		ID:      t.id,
+		Spans:   append([]SpanRecord(nil), t.spans...),
+		Dropped: t.dropped,
+	}
+}
+
+// Span is an active (unfinished) span. A nil *Span is a valid no-op sink:
+// every method returns immediately, which is the disabled-tracing fast path.
+type Span struct {
+	tr     *Trace
+	id     SpanID
+	parent SpanID
+	stage  string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	done  bool
+}
+
+// TraceID returns the owning trace's id (zero on nil).
+func (s *Span) TraceID() ID {
+	if s == nil {
+		return 0
+	}
+	return s.tr.id
+}
+
+// ID returns the span's id (zero on nil).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetInt attaches a numeric attribute. No-op on nil.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
+	s.mu.Unlock()
+}
+
+// SetStr attaches a string attribute. No-op on nil.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Str: v})
+	s.mu.Unlock()
+}
+
+// End completes the span and records it into its trace. No-op on nil and on
+// repeated calls.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.tr.add(SpanRecord{
+		Trace:    s.tr.id,
+		ID:       s.id,
+		Parent:   s.parent,
+		Stage:    s.stage,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    attrs,
+	})
+}
+
+// ctxKey is the private context key carrying the active span.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the span as the active one; child spans
+// started from the returned context parent under it.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the active span, or nil when the context is untraced —
+// the single lookup instrumented code pays when tracing is off.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Start opens a child span of the context's active span and returns a
+// context carrying it. On an untraced context it returns (ctx, nil) without
+// allocating — the fast path every instrumented call site takes when tracing
+// is disabled.
+func Start(ctx context.Context, stage string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.tr.StartSpan(parent.id, stage)
+	return NewContext(ctx, s), s
+}
+
+// id generation: a process-random seed mixed through splitmix64 over an
+// atomic counter — unique within a process, collision-unlikely across the
+// cluster, and never zero (zero is the untraced marker).
+
+var (
+	idSeed    = randomSeed()
+	idCounter atomic.Uint64
+)
+
+func randomSeed() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func newID() uint64 {
+	for {
+		x := idSeed + idCounter.Add(1)*0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// NewID allocates a fresh trace id.
+func NewID() ID { return ID(newID()) }
+
+// Data is one completed trace as retained by a Buffer.
+type Data struct {
+	ID      ID           `json:"trace"`
+	Spans   []SpanRecord `json:"spans"`
+	Dropped int          `json:"dropped,omitempty"`
+}
+
+// Buffer retains the last N completed traces (a ring): the store behind the
+// TTrace wire request and the /debug/traces endpoint. Safe for concurrent
+// use.
+type Buffer struct {
+	mu     sync.Mutex
+	cap    int
+	traces []Data // oldest first
+}
+
+// DefaultBufferTraces is the Buffer capacity servers use by default.
+const DefaultBufferTraces = 64
+
+// NewBuffer returns a buffer retaining up to n traces (n < 1 selects
+// DefaultBufferTraces).
+func NewBuffer(n int) *Buffer {
+	if n < 1 {
+		n = DefaultBufferTraces
+	}
+	return &Buffer{cap: n}
+}
+
+// Add retains one completed trace, evicting the oldest beyond capacity.
+func (b *Buffer) Add(d Data) {
+	b.mu.Lock()
+	if len(b.traces) >= b.cap {
+		copy(b.traces, b.traces[1:])
+		b.traces[len(b.traces)-1] = d
+	} else {
+		b.traces = append(b.traces, d)
+	}
+	b.mu.Unlock()
+}
+
+// Get returns the spans retained under the trace id, merged across entries,
+// oldest first: one client trace spans several requests (a count, then a
+// stream), each observed as its own entry, and the stitched tree needs them
+// all.
+func (b *Buffer) Get(id ID) ([]SpanRecord, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var spans []SpanRecord
+	found := false
+	for i := range b.traces {
+		if b.traces[i].ID == id {
+			spans = append(spans, b.traces[i].Spans...)
+			found = true
+		}
+	}
+	return spans, found
+}
+
+// Last returns up to n most recent traces, oldest first.
+func (b *Buffer) Last(n int) []Data {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n < 1 || n > len(b.traces) {
+		n = len(b.traces)
+	}
+	out := make([]Data, n)
+	copy(out, b.traces[len(b.traces)-n:])
+	return out
+}
+
+// Sampler selects one in every N events (its own counter, so distinct
+// subsystems sample independently). A nil Sampler never samples; every <= 0
+// disables, every == 1 selects all.
+type Sampler struct {
+	every uint64
+	n     atomic.Uint64
+}
+
+// NewSampler returns a 1-in-every sampler (nil when every <= 0, which is a
+// valid never-sampling receiver).
+func NewSampler(every int) *Sampler {
+	if every <= 0 {
+		return nil
+	}
+	return &Sampler{every: uint64(every)}
+}
+
+// Sample reports whether this event is selected.
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	return s.n.Add(1)%s.every == 1 || s.every == 1
+}

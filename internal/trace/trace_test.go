@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestUntracedFastPath pins the zero-cost contract: without a span in the
+// context, Start returns a nil span whose every method is a no-op.
+func TestUntracedFastPath(t *testing.T) {
+	ctx, sp := Start(context.Background(), "anything")
+	if sp != nil {
+		t.Fatalf("Start on an untraced context returned a span: %+v", sp)
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("untraced context carries a span: %+v", got)
+	}
+	// Nil-receiver methods must not panic.
+	sp.SetInt("k", 1)
+	sp.SetStr("k", "v")
+	sp.End()
+	if sp.TraceID() != 0 || sp.ID() != 0 {
+		t.Fatalf("nil span has nonzero ids: %d/%d", sp.TraceID(), sp.ID())
+	}
+}
+
+// TestSpanNesting checks parent linkage, attributes, and duration ordering
+// through the context API.
+func TestSpanNesting(t *testing.T) {
+	tr := New(NewID())
+	root := tr.StartSpan(0, "root")
+	ctx := NewContext(context.Background(), root)
+
+	ctx, child := Start(ctx, "child")
+	child.SetInt("n", 42)
+	child.SetStr("host", "h0")
+	_, grand := Start(ctx, "grandchild")
+	time.Sleep(time.Millisecond)
+	grand.End()
+	child.End()
+	root.End()
+	root.End() // idempotent
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byStage := map[string]SpanRecord{}
+	for _, s := range spans {
+		byStage[s.Stage] = s
+		if s.Trace != tr.ID() {
+			t.Errorf("span %q has trace %d, want %d", s.Stage, s.Trace, tr.ID())
+		}
+	}
+	if byStage["child"].Parent != byStage["root"].ID {
+		t.Errorf("child parent = %d, want root %d", byStage["child"].Parent, byStage["root"].ID)
+	}
+	if byStage["grandchild"].Parent != byStage["child"].ID {
+		t.Errorf("grandchild parent = %d, want child %d", byStage["grandchild"].Parent, byStage["child"].ID)
+	}
+	if byStage["root"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byStage["root"].Parent)
+	}
+	if got := byStage["child"].Attr("host"); got != "h0" {
+		t.Errorf("child host attr = %q, want h0", got)
+	}
+	if byStage["grandchild"].Duration > byStage["child"].Duration ||
+		byStage["child"].Duration > byStage["root"].Duration {
+		t.Errorf("durations not nested: grand=%v child=%v root=%v",
+			byStage["grandchild"].Duration, byStage["child"].Duration, byStage["root"].Duration)
+	}
+}
+
+// TestSpanCap checks the bounded-buffer contract: past MaxSpans, spans are
+// dropped and counted, never accumulated.
+func TestSpanCap(t *testing.T) {
+	tr := New(NewID())
+	for i := 0; i < MaxSpans+10; i++ {
+		tr.StartSpan(0, "s").End()
+	}
+	if got := len(tr.Spans()); got != MaxSpans {
+		t.Fatalf("retained %d spans, want cap %d", got, MaxSpans)
+	}
+	if got := tr.Dropped(); got != 10 {
+		t.Fatalf("dropped = %d, want 10", got)
+	}
+}
+
+// TestNewIDNonzeroAndDistinct pins that generated ids are usable as "traced"
+// markers (never the zero sentinel) and do not repeat trivially.
+func TestNewIDNonzeroAndDistinct(t *testing.T) {
+	seen := map[ID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if id == 0 {
+			t.Fatal("NewID returned the zero sentinel")
+		}
+		if seen[id] {
+			t.Fatalf("NewID repeated %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestBufferRing checks eviction order and lookup of the retention ring.
+func TestBufferRing(t *testing.T) {
+	b := NewBuffer(2)
+	ids := []ID{NewID(), NewID(), NewID()}
+	for _, id := range ids {
+		tr := New(id)
+		tr.StartSpan(0, "s").End()
+		b.Add(tr.Data())
+	}
+	if _, ok := b.Get(ids[0]); ok {
+		t.Error("oldest trace not evicted from a 2-slot ring")
+	}
+	if spans, ok := b.Get(ids[2]); !ok || len(spans) != 1 {
+		t.Errorf("newest trace lookup: ok=%v spans=%d", ok, len(spans))
+	}
+	last := b.Last(0)
+	if len(last) != 2 || last[0].ID != ids[1] || last[1].ID != ids[2] {
+		t.Errorf("Last(0) = %v, want oldest-first [%d %d]", last, ids[1], ids[2])
+	}
+	if got := b.Last(1); len(got) != 1 || got[0].ID != ids[2] {
+		t.Errorf("Last(1) should keep only the newest trace, got %v", got)
+	}
+}
+
+// TestSampler checks the one-in-N contract.
+func TestSampler(t *testing.T) {
+	if NewSampler(0) != nil {
+		t.Error("NewSampler(0) should disable sampling")
+	}
+	s := NewSampler(1)
+	for i := 0; i < 5; i++ {
+		if !s.Sample() {
+			t.Fatal("every-request sampler skipped one")
+		}
+	}
+	s = NewSampler(4)
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Errorf("1-in-4 sampler hit %d of 400", hits)
+	}
+}
+
+// TestRender sanity-checks the tree renderer: indentation follows parentage
+// and attributes print.
+func TestRender(t *testing.T) {
+	tr := New(NewID())
+	root := tr.StartSpan(0, "server.count")
+	child := tr.StartSpan(root.ID(), "engine.count")
+	child.SetInt("outputs", 7)
+	child.End()
+	root.End()
+
+	var b strings.Builder
+	Render(&b, tr.Spans())
+	out := b.String()
+	if !strings.Contains(out, "server.count") || !strings.Contains(out, "  engine.count") {
+		t.Fatalf("render missing indented stages:\n%s", out)
+	}
+	if !strings.Contains(out, "outputs=7") {
+		t.Fatalf("render missing attrs:\n%s", out)
+	}
+}

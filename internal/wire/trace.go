@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Trace context on the wire (protocol v4): every dispatched request body —
+// everything except Hello and the one-way control frames — leads with a
+// uvarint flag. Flag 0 means untraced (one byte of overhead on the disabled
+// path); flag 1 is followed by the trace id and the sender's current span id,
+// which becomes the parent of the receiver's root span, stitching the
+// distributed execution into one tree.
+
+// EncodeTraceContext appends the trace-context prefix. A zero traceID
+// encodes the untraced marker.
+func EncodeTraceContext(e *Enc, traceID, spanID uint64) {
+	if traceID == 0 {
+		e.U64(0)
+		return
+	}
+	e.U64(1)
+	e.U64(traceID)
+	e.U64(spanID)
+}
+
+// DecodeTraceContext consumes the trace-context prefix, returning (0, 0) for
+// an untraced request. Unknown flag values are a protocol error.
+func DecodeTraceContext(d *Dec) (traceID, spanID uint64) {
+	switch flag := d.U64(); flag {
+	case 0:
+		return 0, 0
+	case 1:
+		return d.U64(), d.U64()
+	default:
+		d.Fail(fmt.Errorf("wire: unknown trace-context flag %d: %w", flag, ErrProtocol))
+		return 0, 0
+	}
+}
+
+// EncodeSpans appends a count-prefixed list of span records (a TTrace
+// response's per-trace payload).
+func EncodeSpans(e *Enc, spans []trace.SpanRecord) {
+	e.Int(len(spans))
+	for _, s := range spans {
+		e.U64(uint64(s.Trace))
+		e.U64(uint64(s.ID))
+		e.U64(uint64(s.Parent))
+		e.Str(s.Stage)
+		e.I64(s.Start.UnixNano())
+		e.I64(int64(s.Duration))
+		e.Int(len(s.Attrs))
+		for _, a := range s.Attrs {
+			e.Str(a.Key)
+			e.I64(a.Val)
+			e.Str(a.Str)
+		}
+	}
+}
+
+// DecodeSpans consumes a count-prefixed list of span records.
+func DecodeSpans(d *Dec) []trace.SpanRecord {
+	n := d.Count()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]trace.SpanRecord, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		s := trace.SpanRecord{
+			Trace:  trace.ID(d.U64()),
+			ID:     trace.SpanID(d.U64()),
+			Parent: trace.SpanID(d.U64()),
+			Stage:  d.Str(),
+		}
+		s.Start = time.Unix(0, d.I64())
+		s.Duration = time.Duration(d.I64())
+		na := d.Count()
+		for j := 0; j < na && d.Err() == nil; j++ {
+			s.Attrs = append(s.Attrs, trace.Attr{Key: d.Str(), Val: d.I64(), Str: d.Str()})
+		}
+		out = append(out, s)
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	return out
+}
+
+// EncodeTraces appends a count-prefixed list of retained traces (the TTrace
+// response body).
+func EncodeTraces(e *Enc, traces []trace.Data) {
+	e.Int(len(traces))
+	for _, t := range traces {
+		e.U64(uint64(t.ID))
+		e.Int(t.Dropped)
+		EncodeSpans(e, t.Spans)
+	}
+}
+
+// DecodeTraces consumes a count-prefixed list of retained traces.
+func DecodeTraces(d *Dec) []trace.Data {
+	n := d.Count()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]trace.Data, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		t := trace.Data{ID: trace.ID(d.U64()), Dropped: d.Int()}
+		t.Spans = DecodeSpans(d)
+		out = append(out, t)
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestTraceContextRoundTrip pins the v4 prefix: the untraced marker costs
+// one byte, the traced form carries both ids, and decoding returns exactly
+// what was encoded with the remainder of the body intact.
+func TestTraceContextRoundTrip(t *testing.T) {
+	body := []byte{0xde, 0xad}
+
+	var e Enc
+	EncodeTraceContext(&e, 0, 0)
+	e.Raw(body)
+	if e.Bytes()[0] != 0 || len(e.Bytes()) != 1+len(body) {
+		t.Fatalf("untraced prefix should cost exactly one byte: % x", e.Bytes())
+	}
+	d := NewDec(e.Bytes())
+	traceID, spanID := DecodeTraceContext(d)
+	if traceID != 0 || spanID != 0 || d.Err() != nil {
+		t.Fatalf("untraced decode: (%d, %d, %v)", traceID, spanID, d.Err())
+	}
+	if rest := d.Rest(); !reflect.DeepEqual(rest, body) {
+		t.Fatalf("untraced remainder = % x, want % x", rest, body)
+	}
+
+	e = Enc{}
+	EncodeTraceContext(&e, 0xabcdef, 0x123456)
+	e.Raw(body)
+	d = NewDec(e.Bytes())
+	traceID, spanID = DecodeTraceContext(d)
+	if traceID != 0xabcdef || spanID != 0x123456 || d.Err() != nil {
+		t.Fatalf("traced decode: (%#x, %#x, %v)", traceID, spanID, d.Err())
+	}
+	if rest := d.Rest(); !reflect.DeepEqual(rest, body) {
+		t.Fatalf("traced remainder = % x, want % x", rest, body)
+	}
+}
+
+// TestTraceContextUnknownFlag pins the protocol error on a flag value the
+// decoder does not know.
+func TestTraceContextUnknownFlag(t *testing.T) {
+	var e Enc
+	e.U64(7)
+	d := NewDec(e.Bytes())
+	DecodeTraceContext(d)
+	if !errors.Is(d.Err(), ErrProtocol) {
+		t.Fatalf("unknown flag error = %v, want ErrProtocol", d.Err())
+	}
+}
+
+// TestTracesRoundTrip pins the TTrace payload codec: traces, spans, and
+// attributes survive the wire byte-for-byte (start times at nanosecond
+// resolution).
+func TestTracesRoundTrip(t *testing.T) {
+	start := time.Unix(1700000000, 123456789).UTC()
+	in := []trace.Data{
+		{
+			ID:      42,
+			Dropped: 3,
+			Spans: []trace.SpanRecord{
+				{Trace: 42, ID: 1, Parent: 0, Stage: "server.count", Start: start, Duration: 5 * time.Millisecond},
+				{Trace: 42, ID: 2, Parent: 1, Stage: "engine.count", Start: start.Add(time.Millisecond), Duration: 3 * time.Millisecond,
+					Attrs: []trace.Attr{{Key: "outputs", Val: 99}, {Key: "host", Str: "h1"}}},
+			},
+		},
+		{ID: 43}, // a trace with no spans
+	}
+	var e Enc
+	EncodeTraces(&e, in)
+	d := NewDec(e.Bytes())
+	out := DecodeTraces(d)
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d traces, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || out[i].Dropped != in[i].Dropped || len(out[i].Spans) != len(in[i].Spans) {
+			t.Fatalf("trace %d header mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+		for j, s := range in[i].Spans {
+			g := out[i].Spans[j]
+			if g.Trace != s.Trace || g.ID != s.ID || g.Parent != s.Parent || g.Stage != s.Stage ||
+				!g.Start.Equal(s.Start) || g.Duration != s.Duration || !reflect.DeepEqual(g.Attrs, s.Attrs) {
+				t.Fatalf("span %d/%d mismatch:\n got %+v\nwant %+v", i, j, g, s)
+			}
+		}
+	}
+}

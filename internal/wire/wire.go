@@ -32,7 +32,9 @@ import (
 // clients whose major version it does not speak. Version 2 extended the
 // query payload with predicates and aggregate terms; version 3 extended the
 // prepare options with the shard spec the distributed router fans out.
-const ProtocolVersion = 3
+// Version 4 prefixes every dispatched request body with a trace context
+// (flag 0 = untraced) and adds the TTrace fetch.
+const ProtocolVersion = 4
 
 // MaxFrame bounds a frame's payload (64 MiB). Oversized frames indicate a
 // corrupt or malicious peer; both ends drop the connection.
@@ -66,6 +68,7 @@ const (
 	TExplain       byte = 0x0f // Explain → TExplainOK
 	TRelations     byte = 0x10 // Relations → TRelationsOK
 	TMetrics       byte = 0x11 // Metrics → TMetricsOK
+	TTrace         byte = 0x12 // Trace → TTraceOK
 
 	// One-way control frames (client → server).
 	TCredit byte = 0x18 // grant Rows flow-control credit to a stream
@@ -86,6 +89,7 @@ const (
 	TExplainOK   byte = 0x2b
 	TRelationsOK byte = 0x2c
 	TMetricsOK   byte = 0x2d
+	TTraceOK     byte = 0x2e
 )
 
 // WriteFrame writes one frame. The caller serializes concurrent writers.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/relation"
+	"repro/internal/trace"
 )
 
 // Prepared is a compiled query pinned against a store's physical design:
@@ -160,11 +161,42 @@ func (p *Prepared) rawEnumerate(ctx context.Context, eng core.Engine, emit func(
 	})
 }
 
+// startEngineSpan opens the engine-stage span for one execution, returning
+// a finish callback that attaches the run's core.Stats deltas (seeks,
+// probes, memo hits, outputs — the per-atom seek-loop counters the engines
+// already batch into the collector) before ending the span. On an untraced
+// context both the span and the callback are free.
+func (p *Prepared) startEngineSpan(ctx context.Context, stage string) (context.Context, func()) {
+	ctx, sp := trace.Start(ctx, stage)
+	if sp == nil {
+		return ctx, func() {}
+	}
+	sp.SetStr("algorithm", p.alg)
+	before := p.sc.Snapshot()
+	return ctx, func() {
+		d := p.sc.Snapshot().Sub(before)
+		sp.SetInt("outputs", d.Outputs)
+		if d.Seeks != 0 {
+			sp.SetInt("seeks", d.Seeks)
+		}
+		if d.Probes != 0 {
+			sp.SetInt("probes", d.Probes)
+			sp.SetInt("probe_memo_hits", d.ProbeMemoHits)
+		}
+		if d.ReuseHits != 0 {
+			sp.SetInt("reuse_hits", d.ReuseHits)
+		}
+		sp.End()
+	}
+}
+
 // runCount executes the count path on an engine (the handle's own, or one
 // pinned to a transaction snapshot): aggregate queries count groups, hash
 // shards count their filtered emission, everything else uses the engine's
 // count mode.
 func (p *Prepared) runCount(ctx context.Context, eng core.Engine) (int64, error) {
+	ctx, finish := p.startEngineSpan(ctx, "engine.count")
+	defer finish()
 	if p.agg != nil {
 		return p.agg.count(func(emit func([]int64) bool) error {
 			return p.rawEnumerate(ctx, eng, emit)
@@ -184,6 +216,8 @@ func (p *Prepared) runCount(ctx context.Context, eng core.Engine) (int64, error)
 // runEnumerate executes the enumeration path on an engine, folding the
 // aggregation spec over the (possibly shard-filtered) emission.
 func (p *Prepared) runEnumerate(ctx context.Context, eng core.Engine, emit func([]int64) bool) error {
+	ctx, finish := p.startEngineSpan(ctx, "engine.enumerate")
+	defer finish()
 	if p.agg != nil {
 		return p.agg.run(func(e func([]int64) bool) error {
 			return p.rawEnumerate(ctx, eng, e)

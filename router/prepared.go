@@ -10,6 +10,7 @@ import (
 	"repro"
 	"repro/client"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // streamBuf is the per-host row buffer of a merged stream: how far one
@@ -41,6 +42,12 @@ type Prepared struct {
 	// one partial row (or none), folded rather than merged.
 	globalAgg bool
 	aggs      []query.Agg
+
+	// shards records each participating host's shard restriction (nil for
+	// single-routed handles) and routeNote the routing decision — the
+	// material Explain renders.
+	shards    []repro.Shard
+	routeNote string
 }
 
 var _ repro.PreparedQuery = (*Prepared)(nil)
@@ -97,6 +104,17 @@ func (p *Prepared) Rows(ctx context.Context) iter.Seq[[]int64] {
 // final (nil, err) pair if any host fails mid-stream.
 func (p *Prepared) RowsErr(ctx context.Context) iter.Seq2[[]int64, error] {
 	return rowsErrSeq(p.Enumerate, ctx)
+}
+
+// legSpan opens the "router.leg" span for host i's part of a fan-out — one
+// sibling per leg under the request's root, so a trace shows the straggler as
+// the longest bar. The returned context carries the leg span downstream: the
+// client transport injects it into the per-host request, making the shard
+// server's root span a child of this leg.
+func (p *Prepared) legSpan(ctx context.Context, i int) (context.Context, *trace.Span) {
+	ctx, sp := trace.Start(ctx, "router.leg")
+	sp.SetStr("host", p.r.names[p.hostIdx[i]])
+	return ctx, sp
 }
 
 // hostCtx derives the context for one per-host unary request, applying the
@@ -179,9 +197,12 @@ func (p *Prepared) count(ctx context.Context, txns []repro.QueryTxn) (int64, err
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			lctx, sp := p.legSpan(ctx, i)
 			start := time.Now()
-			counts[i], errs[i] = p.countOn(ctx, i, txns)
+			counts[i], errs[i] = p.countOn(lctx, i, txns)
 			durations[i] = time.Since(start)
+			sp.SetInt("count", counts[i])
+			sp.End()
 			p.r.met.observeHost(p.r.names[p.hostIdx[i]], durations[i])
 		}(i)
 	}
@@ -240,12 +261,14 @@ func (p *Prepared) foldPartials(ctx context.Context, txns []repro.QueryTxn, emit
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			lctx, sp := p.legSpan(ctx, i)
 			start := time.Now()
-			errs[i] = txns[p.hostIdx[i]].Enumerate(ctx, p.hosts[i], func(row []int64) bool {
+			errs[i] = txns[p.hostIdx[i]].Enumerate(lctx, p.hosts[i], func(row []int64) bool {
 				partials[i] = append([]int64(nil), row...)
 				return true
 			})
 			durations[i] = time.Since(start)
+			sp.End()
 			p.r.met.observeHost(p.r.names[p.hostIdx[i]], durations[i])
 		}(i)
 	}
@@ -317,21 +340,35 @@ func (p *Prepared) mergeStreams(ctx context.Context, txns []repro.QueryTxn, emit
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			err := txns[p.hostIdx[i]].Enumerate(hctx, p.hosts[i], func(row []int64) bool {
+			lctx, sp := p.legSpan(hctx, i)
+			var shipped int64
+			err := txns[p.hostIdx[i]].Enumerate(lctx, p.hosts[i], func(row []int64) bool {
 				cp := append([]int64(nil), row...)
 				select {
 				case streams[i].ch <- cp:
+					shipped++
 					return true
 				case <-hctx.Done():
 					return false
 				}
 			})
 			durations[i] = time.Since(start)
+			sp.SetInt("rows", shipped)
+			sp.End()
 			p.r.met.observeHost(p.r.names[p.hostIdx[i]], durations[i])
 			streams[i].err <- err
 			close(streams[i].ch)
 		}(i)
 	}
+
+	// The merge span times the k-way merge itself — the coordinator-side cost
+	// between the fan-out legs and the consumer.
+	_, msp := trace.Start(ctx, "router.merge")
+	var merged int64
+	defer func() {
+		msp.SetInt("rows", merged)
+		msp.End()
+	}()
 
 	heads := make([][]int64, n)
 	active := 0
@@ -375,6 +412,7 @@ func (p *Prepared) mergeStreams(ctx context.Context, txns []repro.QueryTxn, emit
 		if !emit(heads[best]) {
 			return nil
 		}
+		merged++
 		ok, err := advance(best)
 		if err != nil {
 			return err

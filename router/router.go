@@ -394,8 +394,12 @@ func (r *Router) Prepare(q *repro.Query, opts repro.Options) (repro.PreparedQuer
 		return nil, ErrClosed
 	}
 	n := len(r.hosts)
-	if !shardable(opts.Algorithm) || n == 1 {
-		return r.prepareSingle(q, opts, 0)
+	if n == 1 {
+		return r.prepareSingle(q, opts, 0, "single-host cluster")
+	}
+	if !shardable(opts.Algorithm) {
+		return r.prepareSingle(q, opts, 0,
+			fmt.Sprintf("engine %q has no shard support", opts.Algorithm))
 	}
 	gao, err := repro.ResolveGAO(q, opts)
 	if err != nil {
@@ -407,7 +411,9 @@ func (r *Router) Prepare(q *repro.Query, opts repro.Options) (repro.PreparedQuer
 	// constant's owner.
 	for _, pr := range q.Preds {
 		if pr.Left == gao[0] && pr.Op == query.OpEq && !pr.IsVar {
-			return r.prepareSingle(q, opts, r.part.Owner(pr.Const, n))
+			return r.prepareSingle(q, opts, r.part.Owner(pr.Const, n),
+				fmt.Sprintf("pinned: leading attribute %s = %d under %s partitioning",
+					gao[0], pr.Const, r.part.Name()))
 		}
 	}
 	shards, err := r.part.Shards(n)
@@ -421,7 +427,7 @@ func (r *Router) Prepare(q *repro.Query, opts repro.Options) (repro.PreparedQuer
 		if !ok {
 			// Defensive: a resolved GAO always draws from the query's
 			// variables; fall back to single-host routing if not.
-			return r.prepareSingle(q, opts, 0)
+			return r.prepareSingle(q, opts, 0, "leading attribute not in output; unsharded")
 		}
 		mergeCol = col
 	}
@@ -445,11 +451,15 @@ func (r *Router) Prepare(q *repro.Query, opts repro.Options) (repro.PreparedQuer
 		r: r, q: q, alg: hosts[0].Algorithm(),
 		hosts: hosts, hostIdx: hostIdx,
 		mergeCol: mergeCol, globalAgg: globalAgg, aggs: q.Aggs,
+		shards:   shards,
+		routeNote: fmt.Sprintf("fan-out over %d hosts, %s-partitioned on leading attribute %s",
+			n, r.part.Name(), gao[0]),
 	}, nil
 }
 
-// prepareSingle prepares the whole, unsharded query on one host.
-func (r *Router) prepareSingle(q *repro.Query, opts repro.Options, owner int) (repro.PreparedQuery, error) {
+// prepareSingle prepares the whole, unsharded query on one host. note records
+// why the query routed single-host, for Explain.
+func (r *Router) prepareSingle(q *repro.Query, opts repro.Options, owner int, note string) (repro.PreparedQuery, error) {
 	p, err := r.hosts[owner].Prepare(q, opts)
 	if err != nil {
 		return nil, r.hostErr(owner, err)
@@ -457,6 +467,7 @@ func (r *Router) prepareSingle(q *repro.Query, opts repro.Options, owner int) (r
 	return &Prepared{
 		r: r, q: q, alg: p.Algorithm(),
 		hosts: []repro.PreparedQuery{p}, hostIdx: []int{owner}, single: true,
+		routeNote: note,
 	}, nil
 }
 

@@ -1,0 +1,117 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+// TraceSpans collects the spans the cluster hosts recorded under one trace id
+// — the downstream half of a stitched trace: a server fronting this router
+// merges these with its own spans when answering a by-id trace fetch. Hosts
+// whose querier has no trace surface (in-process stores execute inside the
+// coordinator's trace already) are skipped; a host that fails the fetch fails
+// the whole stitch with a *HostError so a partial tree is never presented as
+// complete.
+func (r *Router) TraceSpans(ctx context.Context, id uint64) ([]trace.SpanRecord, error) {
+	type fetcher interface {
+		TraceSpans(context.Context, uint64) ([]trace.SpanRecord, error)
+	}
+	n := len(r.hosts)
+	spans := make([][]trace.SpanRecord, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, h := range r.hosts {
+		f, ok := h.(fetcher)
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, f fetcher) {
+			defer wg.Done()
+			spans[i], errs[i] = f.TraceSpans(ctx, id)
+		}(i, f)
+	}
+	wg.Wait()
+	var all []trace.SpanRecord
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, r.hostErr(i, errs[i])
+		}
+		all = append(all, spans[i]...)
+	}
+	return all, nil
+}
+
+// Explain renders the routing decision and the downstream plan: which hosts
+// participate, each host's shard restriction under the partitioner, how the
+// per-host answers combine, and host 0's compiled plan (the shards compile
+// identically up to the shard spec, so one plan stands for all).
+func (p *Prepared) Explain(ctx context.Context) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "routed query %s [%s]\n", p.q.Name, p.alg)
+	fmt.Fprintf(&b, "routing: %s\n", p.routeNote)
+	if p.single {
+		i := p.hostIdx[0]
+		fmt.Fprintf(&b, "  host %d (%s): full query, no shard restriction\n", i, p.r.names[i])
+	} else {
+		fmt.Fprintf(&b, "partitioner: %s\n", p.r.part.Name())
+		for i := range p.hosts {
+			hi := p.hostIdx[i]
+			fmt.Fprintf(&b, "  host %d (%s): %s\n", hi, p.r.names[hi], shardDesc(p.shards[i]))
+		}
+		if p.globalAgg {
+			fmt.Fprintf(&b, "merge: fold of per-host aggregate partials\n")
+		} else {
+			fmt.Fprintf(&b, "merge: k-way on leading attribute (output column %d)\n", p.mergeCol)
+		}
+	}
+	sub, err := downstreamExplain(ctx, p.hosts[0])
+	if err != nil {
+		return "", p.r.hostErr(p.hostIdx[0], err)
+	}
+	if sub != "" {
+		fmt.Fprintf(&b, "host %d plan:\n", p.hostIdx[0])
+		for _, line := range strings.Split(strings.TrimRight(sub, "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String(), nil
+}
+
+// downstreamExplain renders one host handle's plan, accepting both explain
+// shapes behind the PreparedQuery seam (local Explanation, remote string).
+func downstreamExplain(ctx context.Context, h repro.PreparedQuery) (string, error) {
+	switch h := h.(type) {
+	case interface{ Explain() repro.Explanation }:
+		return h.Explain().String(), nil
+	case interface {
+		Explain(context.Context) (string, error)
+	}:
+		return h.Explain(ctx)
+	}
+	return "", nil
+}
+
+// shardDesc renders one shard spec for Explain.
+func shardDesc(s repro.Shard) string {
+	switch s.Kind {
+	case repro.ShardRange:
+		lo, hi := "-inf", "+inf"
+		if s.Lo != math.MinInt64 {
+			lo = fmt.Sprintf("%d", s.Lo)
+		}
+		if s.Hi != math.MaxInt64 {
+			hi = fmt.Sprintf("%d", s.Hi)
+		}
+		return fmt.Sprintf("range [%s, %s)", lo, hi)
+	case repro.ShardHash:
+		return fmt.Sprintf("hash residue %d mod %d", s.Res, s.Mod)
+	}
+	return "full domain"
+}

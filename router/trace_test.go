@@ -1,0 +1,205 @@
+package router_test
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/trace"
+	"repro/router"
+	"repro/server"
+)
+
+// TestRoutedTraceStitching is the tentpole acceptance test: a traced count
+// through a router over three real TCP servers must yield ONE trace — every
+// span (client root, router legs, per-shard server handling, engine stages)
+// carries the same trace id, parent links form a well-nested tree, and child
+// durations never exceed their parents'.
+func TestRoutedTraceStitching(t *testing.T) {
+	ctx := context.Background()
+	edges := wallEdges(300, 100)
+	var specs []router.HostSpec
+	for i := 0; i < 3; i++ {
+		srv := server.NewSingle(edgeStore(t, edges))
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(l)
+		t.Cleanup(func() { srv.Close() })
+		specs = append(specs, router.HostSpec{Addr: l.Addr().String()})
+	}
+	r, err := router.Open(ctx, specs, router.Config{Partitioner: router.HashPartitioner()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	q, err := r.ParseQuery("q", "edge(a, b), edge(b, c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Prepare(q, repro.Options{Algorithm: repro.LFTJ, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// The client side of a traced request, as graphjoin -trace drives it.
+	tr := trace.New(trace.NewID())
+	root := tr.StartSpan(0, "client.query")
+	tctx := trace.NewContext(ctx, root)
+	if _, err := p.Count(tctx); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	spans := tr.Spans()
+	remote, err := r.TraceSpans(ctx, uint64(tr.ID()))
+	if err != nil {
+		t.Fatalf("TraceSpans: %v", err)
+	}
+	spans = append(spans, remote...)
+
+	// One trace: every span under the client's id.
+	byID := make(map[trace.SpanID]trace.SpanRecord, len(spans))
+	stages := make(map[string]int)
+	for _, s := range spans {
+		if s.Trace != tr.ID() {
+			t.Errorf("span %q carries trace %d, want %d", s.Stage, s.Trace, tr.ID())
+		}
+		if _, dup := byID[s.ID]; dup {
+			t.Errorf("duplicate span id %d (%q)", s.ID, s.Stage)
+		}
+		byID[s.ID] = s
+		stages[s.Stage]++
+	}
+
+	// The full path is present: one client root, one leg + one server
+	// handling + one engine execution per shard.
+	for stage, want := range map[string]int{
+		"client.query": 1,
+		"router.leg":   3,
+		"server.count": 3,
+		"engine.count": 3,
+	} {
+		if stages[stage] != want {
+			t.Errorf("stage %q appears %d times, want %d (stages: %v)", stage, stages[stage], want, stages)
+		}
+	}
+
+	// Well-nested: every non-root parent id resolves, and the parent chain
+	// reaches the client root.
+	rootID := root.ID()
+	for _, s := range spans {
+		if s.ID == rootID {
+			if s.Parent != 0 {
+				t.Errorf("client root has parent %d", s.Parent)
+			}
+			continue
+		}
+		if s.Parent == 0 {
+			t.Errorf("span %q is an orphan root", s.Stage)
+			continue
+		}
+		seen := 0
+		for cur := s; cur.Parent != 0; cur = byID[cur.Parent] {
+			p, ok := byID[cur.Parent]
+			if !ok {
+				t.Errorf("span %q: parent %d not in the stitched trace", cur.Stage, cur.Parent)
+				break
+			}
+			// Durations are monotonic down the tree: a child is measured
+			// inside its parent's interval (the leg span brackets the whole
+			// downstream round trip, the server root brackets the engine).
+			if cur.Duration > p.Duration {
+				t.Errorf("span %q (%v) outlasts its parent %q (%v)", cur.Stage, cur.Duration, p.Stage, p.Duration)
+			}
+			if seen++; seen > len(spans) {
+				t.Fatalf("parent cycle at span %q", s.Stage)
+			}
+		}
+	}
+
+	// Each shard's server.count hangs off a distinct router leg.
+	legParents := make(map[trace.SpanID]bool)
+	for _, s := range spans {
+		if s.Stage == "server.count" {
+			p, ok := byID[s.Parent]
+			if !ok || p.Stage != "router.leg" {
+				t.Errorf("server.count parent is %q, want router.leg", p.Stage)
+				continue
+			}
+			if legParents[p.ID] {
+				t.Errorf("two shard roots share leg %d", p.ID)
+			}
+			legParents[p.ID] = true
+		}
+	}
+
+	// The renderer accepts the stitched tree and shows the full path.
+	var b strings.Builder
+	trace.Render(&b, spans)
+	out := b.String()
+	for _, stage := range []string{"client.query", "router.leg", "server.count", "engine.count"} {
+		if !strings.Contains(out, stage) {
+			t.Errorf("rendered trace missing %q:\n%s", stage, out)
+		}
+	}
+}
+
+// TestRoutedExplain pins the Explain satellite: a routed prepared query
+// reports the partitioner, each host's shard restriction, and the merge
+// strategy; a constant-pinned query reports its single-host routing.
+func TestRoutedExplain(t *testing.T) {
+	ctx := context.Background()
+	_, r := cluster(t, 3, router.RangePartitioner(33, 66))
+
+	q, err := r.ParseQuery("q", "edge(a, b), edge(b, c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Prepare(q, repro.Options{Algorithm: repro.LFTJ, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	text, err := p.(*router.Prepared).Explain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"partitioner: range",
+		"host 0", "host 1", "host 2",
+		"range [-inf, 33)", "range [33, 66)", "range [66, +inf)",
+		"merge: k-way on leading attribute",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fan-out explain missing %q:\n%s", want, text)
+		}
+	}
+
+	// Pinned: an equality predicate fixing the leading GAO attribute routes
+	// the whole query to the constant's owner.
+	pq, err := r.ParseQuery("q", "edge(a, b), edge(b, c), a = 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := r.Prepare(pq, repro.Options{Algorithm: repro.LFTJ, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pp.Close()
+	text, err = pp.(*router.Prepared).Explain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "pinned") || !strings.Contains(text, "host 1") {
+		t.Errorf("pinned explain should route 40 to host 1 under range(33,66):\n%s", text)
+	}
+	if !strings.Contains(text, "full query, no shard restriction") {
+		t.Errorf("pinned explain missing the unsharded note:\n%s", text)
+	}
+}

@@ -190,6 +190,38 @@ done
 # $router_addr now points at the range-partitioned router; keep it for the
 # kill test below.
 
+# --- End-to-end tracing ----------------------------------------------------
+# One traced query through the router must print a single stitched span tree:
+# the client root, one router.leg per shard, each shard's server handling,
+# and the engine execution inside it.
+"$bin/graphjoin" -connect "$router_addr" -query 3-clique -engine lftj -trace > "$bin/trace.log" 2>&1 \
+  || { echo "integration: traced routed query failed" >&2; cat "$bin/trace.log" >&2; exit 1; }
+for stage in client.query server.count router.leg engine.count; do
+  grep -q "$stage" "$bin/trace.log" \
+    || { echo "integration: trace missing stage $stage:" >&2; cat "$bin/trace.log" >&2; exit 1; }
+done
+legs="$(grep -c 'router\.leg' "$bin/trace.log")"
+if [ "$legs" -ne 3 ]; then
+  echo "integration: trace shows $legs router legs, want 3:" >&2
+  cat "$bin/trace.log" >&2
+  exit 1
+fi
+echo "integration: traced routed query rendered a full span tree ($legs legs)"
+
+# Slow-query log: a server with a 1ms threshold must log an artificially slow
+# query (a full 4-clique enumerate) as a JSON line carrying the trace.
+boot_member "$bin/slow-server.log" "$bin/graphjoind" "${graph_flags[@]}" \
+  -slow-query-ms 1 -slow-query-log "$bin/slow.json"
+slow_addr="$addr"
+"$bin/graphjoin" -connect "$slow_addr" -query 4-clique -engine lftj > /dev/null
+for field in '"trace_id"' '"spans"' '"fingerprint"' '"dur_ms"'; do
+  grep -q "$field" "$bin/slow.json" \
+    || { echo "integration: slow-query log missing $field:" >&2; cat "$bin/slow.json" >&2; exit 1; }
+done
+grep -q '"type":"count"' "$bin/slow.json" \
+  || { echo "integration: no slow count entry:" >&2; cat "$bin/slow.json" >&2; exit 1; }
+echo "integration: slow query landed in the slow-query log"
+
 # kill -9 one shard: the routed query must fail promptly with a one-line
 # typed router error naming the dead host — no hang, no silent partial rows.
 { kill -9 "${cluster_pids[1]}" && wait "${cluster_pids[1]}"; } 2>/dev/null || true

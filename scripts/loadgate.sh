@@ -29,6 +29,9 @@ fi
 # Splitting on commas and braces puts each "key":value pair on its own line;
 # the first occurrence is the top-level one (the nested by_type duplicates of
 # ops/errors/overloaded all come later in encoding/json's field order).
+# Keys the gate does not ask for are simply never matched, so the summary can
+# grow fields (p999_ms, per-type max_ms, ...) without breaking old artifacts
+# or this script.
 field() {
     tr ',{' '\n\n' < "$1" \
         | sed -n 's/^"'"$2"'":"\{0,1\}\([^",}]*\)"\{0,1\}.*/\1/p' \

@@ -13,6 +13,7 @@ import (
 
 	"repro"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -291,9 +292,34 @@ func (c *conn) dispatch(ctx context.Context, typ byte, reqID uint64, body []byte
 	}
 	defer c.adm.release()
 	c.sm.admitted(typ)
+	// Protocol v4: every dispatched request leads with a trace context. A
+	// client-traced request opens a root span parented at the client's span;
+	// an untraced one is sampled into an internal trace when the slow-query
+	// log needs span trees. tr == nil is the common fast path.
+	d := wire.NewDec(body)
+	traceID, parentSpan := wire.DecodeTraceContext(d)
+	if d.Err() != nil {
+		c.sendErr(reqID, fmt.Errorf("server: malformed trace context: %w", wire.ErrProtocol))
+		return
+	}
+	body = d.Rest()
+	var tr *trace.Trace
+	var root *trace.Span
+	switch {
+	case traceID != 0:
+		tr = trace.New(trace.ID(traceID))
+	case c.srv.traces.sampler.Sample():
+		tr = trace.New(trace.NewID())
+	}
+	if tr != nil {
+		root = tr.StartSpan(trace.SpanID(parentSpan), "server."+requestName(typ))
+		ctx = trace.NewContext(ctx, root)
+	}
 	start := time.Now()
 	err := c.handle(ctx, typ, reqID, body)
 	c.sm.done(typ, start, err)
+	root.End()
+	c.srv.traces.observe(c.storeName, requestName(typ), tr, time.Since(start), err)
 	if err != nil {
 		c.sendErr(reqID, err)
 	}
@@ -316,7 +342,7 @@ func (c *conn) handle(ctx context.Context, typ byte, reqID uint64, body []byte) 
 	case wire.TParse:
 		err = c.handleParse(reqID, body)
 	case wire.TPrepare:
-		err = c.handlePrepare(reqID, body)
+		err = c.handlePrepare(ctx, reqID, body)
 	case wire.TClosePrepared:
 		err = c.handleClosePrepared(reqID, body)
 	case wire.TCount:
@@ -337,6 +363,8 @@ func (c *conn) handle(ctx context.Context, typ byte, reqID uint64, body []byte) 
 		err = c.handleRelations(ctx, reqID)
 	case wire.TMetrics:
 		err = c.handleMetrics(reqID)
+	case wire.TTrace:
+		err = c.handleTrace(ctx, reqID, body)
 	default:
 		err = fmt.Errorf("server: unknown frame type 0x%02x: %w", typ, wire.ErrProtocol)
 	}
@@ -346,6 +374,15 @@ func (c *conn) handle(ctx context.Context, typ byte, reqID uint64, body []byte) 
 // decodeErr wraps a payload-decoding failure as a protocol error.
 func decodeErr(d *wire.Dec) error {
 	return fmt.Errorf("server: malformed request: %v: %w", d.Err(), wire.ErrProtocol)
+}
+
+// fingerprintSpan attaches the plan fingerprint (query source form and
+// engine) to the request's root span — what the slow-query log keys on.
+func fingerprintSpan(ctx context.Context, p repro.PreparedQuery) {
+	if sp := trace.FromContext(ctx); sp != nil {
+		sp.SetStr("query", p.Query().String())
+		sp.SetStr("algorithm", p.Algorithm())
+	}
 }
 
 func (c *conn) handleDefine(reqID uint64, body []byte) error {
@@ -428,7 +465,7 @@ func (c *conn) handleParse(reqID uint64, body []byte) error {
 	return c.send(wire.TParseOK, reqID, e.Bytes())
 }
 
-func (c *conn) handlePrepare(reqID uint64, body []byte) error {
+func (c *conn) handlePrepare(ctx context.Context, reqID uint64, body []byte) error {
 	d := wire.NewDec(body)
 	wq := wire.DecodeQuery(d)
 	opts := wire.DecodeOptions(d)
@@ -439,7 +476,22 @@ func (c *conn) handlePrepare(reqID uint64, body []byte) error {
 	if err != nil {
 		return err
 	}
+	_, sp := trace.Start(ctx, "prepare")
 	p, err := c.store.Prepare(q, opts)
+	if sp != nil {
+		if err == nil {
+			// The planning block moves only at Prepare time, so the handle's
+			// counters are exactly this compilation's plan-cache and
+			// index-binding work.
+			st := p.Stats()
+			sp.SetStr("query", p.Query().String())
+			sp.SetStr("algorithm", p.Algorithm())
+			sp.SetInt("plan_cache_hits", st.PlanCacheHits)
+			sp.SetInt("plan_cache_misses", st.PlanCacheMisses)
+			sp.SetInt("index_bindings", st.IndexBindings)
+		}
+		sp.End()
+	}
 	if err != nil {
 		return err
 	}
@@ -513,6 +565,7 @@ func (c *conn) handleCount(ctx context.Context, reqID uint64, body []byte) error
 	if err != nil {
 		return err
 	}
+	fingerprintSpan(ctx, p)
 	var n int64
 	if t != nil {
 		n, err = t.Count(ctx, p)

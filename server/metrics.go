@@ -42,6 +42,15 @@ var requestTypes = map[byte]string{
 	wire.TExplain:       "explain",
 	wire.TRelations:     "relations",
 	wire.TMetrics:       "metrics",
+	wire.TTrace:         "trace",
+}
+
+// requestName labels a frame type for spans and the slow-query log.
+func requestName(typ byte) string {
+	if name, ok := requestTypes[typ]; ok {
+		return name
+	}
+	return fmt.Sprintf("0x%02x", typ)
 }
 
 // storeMetrics is one store's serving instrumentation, pre-registered per

@@ -57,6 +57,10 @@ type Config struct {
 	// requests fail fast with a wire error satisfying
 	// errors.Is(err, client.ErrOverloaded).
 	Limits map[string]Limits
+	// Trace configures request tracing and the slow-query log. The zero
+	// value retains a small buffer of client-traced requests and disables
+	// slow-query logging.
+	Trace TraceConfig
 }
 
 // Server serves Store queries to remote clients. Create one with New or
@@ -71,6 +75,8 @@ type Server struct {
 	metrics    map[string]*storeMetrics
 	admissions map[string]*admission
 	leases     map[string]*leaseTracker
+	// traces retains completed request traces and writes the slow-query log.
+	traces *traceSink
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -120,6 +126,7 @@ func New(cfg Config) *Server {
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
 	}
+	s.traces = newTraceSink(cfg.Trace, s.logf)
 	return s
 }
 

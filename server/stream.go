@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -122,6 +123,13 @@ func (c *conn) handleRows(ctx context.Context, reqID uint64, body []byte) error 
 	if err != nil {
 		return err
 	}
+	fingerprintSpan(ctx, p)
+	// The streaming span wraps execution and delivery; credit stalls (the
+	// producer blocked waiting for the client to grant more chunks) are
+	// summed into it, separating "the engine was slow" from "the consumer
+	// was slow" in one glance at the trace.
+	ctx, span := trace.Start(ctx, "rows.stream")
+	var stallTotal time.Duration
 
 	st := newStream(credit)
 	c.mu.Lock()
@@ -144,6 +152,7 @@ func (c *conn) handleRows(ctx context.Context, reqID uint64, body []byte) error 
 		}
 		stall, err := st.acquire(ctx)
 		c.sm.stalled(stall)
+		stallTotal += stall
 		if err != nil {
 			return err
 		}
@@ -174,6 +183,11 @@ func (c *conn) handleRows(ctx context.Context, reqID uint64, body []byte) error 
 	}
 	if runErr == nil && stopErr == nil {
 		stopErr = flush() // final partial chunk
+	}
+	if span != nil {
+		span.SetInt("delivered", delivered)
+		span.SetInt("credit_stall_ns", int64(stallTotal))
+		span.End()
 	}
 
 	code, msg := "", ""
